@@ -1,0 +1,237 @@
+package lcrs
+
+import (
+	"bytes"
+	"io"
+	"sync"
+	"testing"
+
+	"lcrs/internal/bench"
+	"lcrs/internal/binary"
+	"lcrs/internal/nn"
+	"lcrs/internal/tensor"
+)
+
+// --- Experiment regeneration benchmarks: one per paper table/figure. ---
+//
+// Each benchmark drives the same experiment code lcrs-bench runs, at the
+// quick scale. The first iteration trains the width-scaled models; the
+// runner caches them, so subsequent iterations measure the experiment
+// harness itself. Run `go run ./cmd/lcrs-bench` for the full-scale sweep.
+
+var (
+	benchRunnerOnce sync.Once
+	benchRunner     *bench.Runner
+)
+
+func sharedRunner() *bench.Runner {
+	benchRunnerOnce.Do(func() {
+		cfg := bench.QuickConfig(io.Discard)
+		cfg.TrainSamples = 200
+		cfg.Epochs = 3
+		cfg.SessionSamples = 20
+		benchRunner = bench.NewRunner(cfg)
+	})
+	return benchRunner
+}
+
+func benchmarkExperiment(b *testing.B, id string) {
+	b.Helper()
+	r := sharedRunner()
+	exp, err := bench.ByID(id)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < b.N; i++ {
+		if err := exp.Run(r); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTable1TrainingResults(b *testing.B)   { benchmarkExperiment(b, "table1") }
+func BenchmarkFig4BranchStructure(b *testing.B)     { benchmarkExperiment(b, "fig4") }
+func BenchmarkFig5TrainingCurves(b *testing.B)      { benchmarkExperiment(b, "fig5") }
+func BenchmarkFig6LatencyVsSamples(b *testing.B)    { benchmarkExperiment(b, "fig6") }
+func BenchmarkTable2AverageLatency(b *testing.B)    { benchmarkExperiment(b, "table2") }
+func BenchmarkTable3CommunicationCost(b *testing.B) { benchmarkExperiment(b, "table3") }
+func BenchmarkFig7BrowserModelSize(b *testing.B)    { benchmarkExperiment(b, "fig7") }
+func BenchmarkFig10WebARLatency(b *testing.B)       { benchmarkExperiment(b, "fig10") }
+
+// --- Kernel ablations: the load-bearing speed claims. ---
+
+// Packed XNOR convolution vs the float simulation of the same binary conv
+// vs a full-precision conv of identical geometry. The packed kernel is the
+// paper's browser-side inference engine.
+func convBenchSetup() (*binary.Conv2D, *binary.PackedConv2D, *nn.Conv2D, *tensor.Tensor) {
+	g := tensor.NewRNG(1)
+	bc := binary.NewConv2D("bc", g, 64, 128, 3, 3, 1, 1)
+	pc := binary.PackConv2D(bc)
+	fc := nn.NewConv2D("fc", g, 64, 128, 3, 3, 1, 1)
+	x := g.Uniform(-1, 1, 1, 64, 16, 16)
+	return bc, pc, fc, x
+}
+
+func BenchmarkConvFloat(b *testing.B) {
+	_, _, fc, x := convBenchSetup()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		fc.Forward(x, false)
+	}
+}
+
+func BenchmarkConvBinaryFloatSim(b *testing.B) {
+	bc, _, _, x := convBenchSetup()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		bc.Forward(x, false)
+	}
+}
+
+func BenchmarkConvBinaryPackedXNOR(b *testing.B) {
+	_, pc, _, x := convBenchSetup()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		pc.Forward(x)
+	}
+}
+
+func BenchmarkLinearFloat(b *testing.B) {
+	g := tensor.NewRNG(2)
+	l := nn.NewLinear("fl", g, 4096, 1024)
+	x := g.Uniform(-1, 1, 1, 4096)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		l.Forward(x, false)
+	}
+}
+
+func BenchmarkLinearBinaryPackedXNOR(b *testing.B) {
+	g := tensor.NewRNG(2)
+	l := binary.PackLinear(binary.NewLinear("bl", g, 4096, 1024))
+	x := g.Uniform(-1, 1, 1, 4096)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		l.Forward(x)
+	}
+}
+
+func BenchmarkXnorDot(b *testing.B) {
+	g := tensor.NewRNG(3)
+	n := 4096
+	av := g.Uniform(-1, 1, n)
+	bv := g.Uniform(-1, 1, n)
+	pa := make([]uint64, (n+63)/64)
+	pb := make([]uint64, (n+63)/64)
+	binary.PackSigns(pa, av.Data)
+	binary.PackSigns(pb, bv.Data)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		binary.XnorDot(pa, pb, n)
+	}
+}
+
+func BenchmarkFloatDot(b *testing.B) {
+	g := tensor.NewRNG(3)
+	n := 4096
+	av := g.Uniform(-1, 1, n)
+	bv := g.Uniform(-1, 1, n)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var s float32
+		for j := 0; j < n; j++ {
+			s += av.Data[j] * bv.Data[j]
+		}
+		_ = s
+	}
+}
+
+func BenchmarkMatMul(b *testing.B) {
+	g := tensor.NewRNG(4)
+	x := g.Uniform(-1, 1, 128, 256)
+	y := g.Uniform(-1, 1, 256, 128)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tensor.MatMul(x, y)
+	}
+}
+
+// Bundle encode/decode: the model-loading path of the web client.
+func BenchmarkBrowserBundleEncode(b *testing.B) {
+	m, err := Build("lenet", ModelConfig{Classes: 10, InC: 3, InH: 32, InW: 32, WidthScale: 0.5, Seed: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := EncodeBrowserBundle(m); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkBrowserBundleDecode(b *testing.B) {
+	cfg := ModelConfig{Classes: 10, InC: 3, InH: 32, InW: 32, WidthScale: 0.5, Seed: 1}
+	m, err := Build("lenet", cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	data, err := EncodeBrowserBundle(m)
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg.Seed = 2
+	dst, err := Build("lenet", cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := DecodeBrowserBundle(data, dst); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// Checkpoint save: the edge-side model artifact.
+func BenchmarkCheckpointSave(b *testing.B) {
+	m, err := Build("lenet", ModelConfig{Classes: 10, InC: 3, InH: 32, InW: 32, WidthScale: 0.5, Seed: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var buf bytes.Buffer
+		if err := SaveModel(&buf, m); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// Algorithm 2 single-sample inference, both paths.
+func BenchmarkCollabInfer(b *testing.B) {
+	m, err := Build("lenet", ModelConfig{Classes: 10, InC: 1, InH: 28, InW: 28, WidthScale: 0.1, Seed: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	ds, err := GenerateDataset("mnist", 8, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, tc := range []struct {
+		name string
+		tau  float64
+	}{{"ExitAtBinary", 1}, {"EdgeCollaboration", 0}} {
+		b.Run(tc.name, func(b *testing.B) {
+			rt, err := NewRuntime(m, tc.tau, DefaultCostModel())
+			if err != nil {
+				b.Fatal(err)
+			}
+			x, _ := ds.Sample(0)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				rt.Infer(x)
+			}
+		})
+	}
+}

@@ -1,0 +1,107 @@
+// Command lcrs-client plays the mobile web browser: it downloads a model
+// bundle from an lcrs-edge server, runs the binary branch locally, and
+// falls back to the edge for low-confidence samples (the client side of
+// Algorithm 2). It reports per-sample latency and the session exit rate.
+//
+// Usage:
+//
+//	lcrs-client -server http://127.0.0.1:8080 -model demo -ckpt lenet-mnist.lcrs -dataset mnist -n 20
+//
+// The checkpoint is only read for its header (architecture, configuration
+// and screened tau); weights always come from the server's bundle.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"lcrs/internal/dataset"
+	"lcrs/internal/modelio"
+	"lcrs/internal/webclient"
+)
+
+func main() {
+	var (
+		server = flag.String("server", "http://127.0.0.1:8080", "edge server base URL")
+		model  = flag.String("model", "demo", "model name on the server")
+		ckpt   = flag.String("ckpt", "", "checkpoint path for header metadata (required)")
+		dsName = flag.String("dataset", "mnist", "dataset to sample from (mnist, fashion, cifar10, cifar100, logos)")
+		n      = flag.Int("n", 20, "number of samples to recognize")
+		seed   = flag.Int64("seed", 0, "sample generation seed; 0 reuses the checkpoint's seed (the synthetic class prototypes are seed-defined, so a different seed is a different task)")
+		tau    = flag.Float64("tau", -1, "override exit threshold (default: from checkpoint header)")
+	)
+	flag.Parse()
+	if *ckpt == "" {
+		fmt.Fprintln(os.Stderr, "lcrs-client: -ckpt is required")
+		os.Exit(2)
+	}
+	f, err := os.Open(*ckpt)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "lcrs-client:", err)
+		os.Exit(1)
+	}
+	_, hdr, err := modelio.LoadModelFile(f)
+	f.Close()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "lcrs-client:", err)
+		os.Exit(1)
+	}
+	threshold := hdr.Tau
+	if *tau >= 0 {
+		threshold = *tau
+	}
+	if *seed == 0 {
+		*seed = hdr.Config.Seed
+	}
+
+	var ds *dataset.Dataset
+	if *dsName == "logos" {
+		ds = dataset.GenerateLogos(dataset.DefaultLogoSpec(), *n, *seed)
+	} else {
+		ds, err = dataset.GenerateByName(*dsName, *n, *seed)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "lcrs-client:", err)
+			os.Exit(1)
+		}
+	}
+
+	ctx := context.Background()
+	c := webclient.New(*server, nil)
+	if err := c.LoadModel(ctx, *model, hdr.Arch, hdr.Config, threshold); err != nil {
+		fmt.Fprintln(os.Stderr, "lcrs-client:", err)
+		os.Exit(1)
+	}
+	loadTime, loadBytes := c.LoadStats()
+	fmt.Printf("bundle loaded: %d bytes in %v (tau %.4f)\n", loadBytes, loadTime.Round(time.Microsecond), threshold)
+
+	var exits, correct int
+	var totalClient, totalEdge time.Duration
+	for i := 0; i < ds.Len(); i++ {
+		x, label := ds.Sample(i)
+		res, err := c.Recognize(ctx, x)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "lcrs-client:", err)
+			os.Exit(1)
+		}
+		path := "edge"
+		if res.Exited {
+			path = "binary"
+			exits++
+		}
+		if res.Pred == label {
+			correct++
+		}
+		totalClient += res.ClientTime
+		totalEdge += res.EdgeTime
+		fmt.Printf("sample %2d: pred %d (label %d) via %-6s entropy %.4f client %v edge %v\n",
+			i, res.Pred, label, path, res.Entropy,
+			res.ClientTime.Round(time.Microsecond), res.EdgeTime.Round(time.Microsecond))
+	}
+	fmt.Printf("\nsession: %d samples, exit rate %.0f%%, accuracy %.0f%%, avg client %v, avg edge %v\n",
+		ds.Len(), float64(exits)/float64(ds.Len())*100, float64(correct)/float64(ds.Len())*100,
+		(totalClient / time.Duration(ds.Len())).Round(time.Microsecond),
+		(totalEdge / time.Duration(ds.Len())).Round(time.Microsecond))
+}

@@ -1,0 +1,64 @@
+// Command lcrs-dataset renders contact sheets of the synthetic datasets as
+// PNG files, the quickest way to see what the offline stand-ins for
+// MNIST/Fashion/CIFAR and the Web AR logos look like.
+//
+// Usage:
+//
+//	lcrs-dataset -out sheets/              # one sheet per dataset + logos
+//	lcrs-dataset -dataset cifar10 -out .   # a single dataset
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"lcrs/internal/dataset"
+)
+
+func main() {
+	var (
+		dsName = flag.String("dataset", "", "dataset to render (default: all plus logos)")
+		out    = flag.String("out", ".", "output directory")
+		rows   = flag.Int("rows", 4, "grid rows")
+		cols   = flag.Int("cols", 10, "grid columns (defaults show one row per class sweep)")
+		seed   = flag.Int64("seed", 1, "generation seed")
+	)
+	flag.Parse()
+
+	if err := os.MkdirAll(*out, 0o755); err != nil {
+		fmt.Fprintln(os.Stderr, "lcrs-dataset:", err)
+		os.Exit(1)
+	}
+	names := []string{"mnist", "fashion", "cifar10", "cifar100", "logos"}
+	if *dsName != "" {
+		names = []string{*dsName}
+	}
+	for _, name := range names {
+		var d *dataset.Dataset
+		if name == "logos" {
+			d = dataset.GenerateLogos(dataset.DefaultLogoSpec(), *rows**cols, *seed)
+		} else {
+			var err error
+			d, err = dataset.GenerateByName(name, *rows**cols, *seed)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "lcrs-dataset:", err)
+				os.Exit(1)
+			}
+		}
+		path := filepath.Join(*out, name+".png")
+		f, err := os.Create(path)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "lcrs-dataset:", err)
+			os.Exit(1)
+		}
+		if err := d.WriteContactSheet(f, *rows, *cols); err != nil {
+			f.Close()
+			fmt.Fprintln(os.Stderr, "lcrs-dataset:", err)
+			os.Exit(1)
+		}
+		f.Close()
+		fmt.Printf("wrote %s (%d samples)\n", path, *rows**cols)
+	}
+}

@@ -1,0 +1,101 @@
+// Command lcrs-edge serves trained LCRS models over HTTP: browser bundles
+// for web clients and main-branch inference on received intermediate
+// tensors (the server side of Algorithm 2).
+//
+// Usage:
+//
+//	lcrs-edge -addr :8080 -model demo=lenet-mnist.lcrs -model webar=webar.lcrs
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"lcrs/internal/edge"
+	"lcrs/internal/modelio"
+)
+
+// modelFlags collects repeated -model name=path pairs.
+type modelFlags []string
+
+func (m *modelFlags) String() string { return strings.Join(*m, ",") }
+
+func (m *modelFlags) Set(v string) error {
+	if !strings.Contains(v, "=") {
+		return fmt.Errorf("want name=path, got %q", v)
+	}
+	*m = append(*m, v)
+	return nil
+}
+
+func main() {
+	var mf modelFlags
+	addr := flag.String("addr", ":8080", "listen address")
+	verbose := flag.Bool("verbose", false, "log every request")
+	flag.Var(&mf, "model", "name=checkpoint.lcrs (repeatable)")
+	flag.Parse()
+	if len(mf) == 0 {
+		fmt.Fprintln(os.Stderr, "lcrs-edge: at least one -model name=path is required")
+		os.Exit(2)
+	}
+
+	srv := edge.NewServer()
+	if *verbose {
+		srv.SetLogger(log.New(os.Stderr, "edge ", log.LstdFlags|log.Lmicroseconds))
+	}
+	for _, spec := range mf {
+		name, path, _ := strings.Cut(spec, "=")
+		f, err := os.Open(path)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "lcrs-edge:", err)
+			os.Exit(1)
+		}
+		m, hdr, err := modelio.LoadModelFile(f)
+		f.Close()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "lcrs-edge: load %s: %v\n", path, err)
+			os.Exit(1)
+		}
+		if err := srv.Register(name, m); err != nil {
+			fmt.Fprintln(os.Stderr, "lcrs-edge:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("registered %s: %s (%d classes, tau %.4f)\n", name, hdr.Arch, hdr.Config.Classes, hdr.Tau)
+	}
+
+	hs := &http.Server{
+		Addr:              *addr,
+		Handler:           srv.Handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	errCh := make(chan error, 1)
+	go func() { errCh <- hs.ListenAndServe() }()
+	fmt.Printf("edge server listening on %s\n", *addr)
+
+	select {
+	case err := <-errCh:
+		if err != nil && !errors.Is(err, http.ErrServerClosed) {
+			fmt.Fprintln(os.Stderr, "lcrs-edge:", err)
+			os.Exit(1)
+		}
+	case <-ctx.Done():
+		fmt.Println("shutting down")
+		shutdownCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		if err := hs.Shutdown(shutdownCtx); err != nil {
+			fmt.Fprintln(os.Stderr, "lcrs-edge: shutdown:", err)
+			os.Exit(1)
+		}
+	}
+}

@@ -1,0 +1,61 @@
+// Command lcrs-inspect prints a layer-by-layer summary of a trained LCRS
+// checkpoint or of a freshly built architecture: per-layer output shapes,
+// parameters, deployed bytes (bit-packed for binary layers) and FLOPs, plus
+// the aggregate main-model and browser-bundle sizes.
+//
+// Usage:
+//
+//	lcrs-inspect -ckpt demo.lcrs
+//	lcrs-inspect -arch alexnet            # paper-size build, CIFAR10 shape
+//	lcrs-inspect -arch vgg16 -scale 0.25
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"lcrs/internal/modelio"
+	"lcrs/internal/models"
+)
+
+func main() {
+	var (
+		ckpt    = flag.String("ckpt", "", "checkpoint to inspect")
+		arch    = flag.String("arch", "", "architecture to build instead of loading a checkpoint")
+		scale   = flag.Float64("scale", 1, "width scale when building from -arch")
+		classes = flag.Int("classes", 10, "classes when building from -arch")
+	)
+	flag.Parse()
+
+	var m *models.Composite
+	switch {
+	case *ckpt != "":
+		f, err := os.Open(*ckpt)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "lcrs-inspect:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		loaded, hdr, err := modelio.LoadModelFile(f)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "lcrs-inspect:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("checkpoint: arch=%s tau=%.4f seed=%d\n", hdr.Arch, hdr.Tau, hdr.Config.Seed)
+		m = loaded
+	case *arch != "":
+		built, err := models.Build(*arch, models.Config{
+			Classes: *classes, InC: 3, InH: 32, InW: 32, WidthScale: *scale, Seed: 1,
+		})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "lcrs-inspect:", err)
+			os.Exit(1)
+		}
+		m = built
+	default:
+		fmt.Fprintln(os.Stderr, "lcrs-inspect: one of -ckpt or -arch is required")
+		os.Exit(2)
+	}
+	fmt.Print(m.Summary())
+}

@@ -1,0 +1,65 @@
+package lcrs_test
+
+import (
+	"fmt"
+
+	"lcrs"
+)
+
+// Building a composite model and inspecting the size asymmetry between the
+// edge-side main branch and the browser-side binary bundle.
+func ExampleBuild() {
+	cfg := lcrs.ModelConfig{Classes: 10, InC: 3, InH: 32, InW: 32, WidthScale: 1, Seed: 1}
+	m, err := lcrs.Build("resnet18", cfg)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("main branch: %.1f MB\n", float64(m.MainSizeBytes())/(1<<20))
+	fmt.Printf("browser bundle: %.1f MB\n", float64(m.BinarySizeBytes())/(1<<20))
+	fmt.Printf("compression: %.0fx\n", float64(m.MainSizeBytes())/float64(m.BinarySizeBytes()))
+	// Output:
+	// main branch: 42.7 MB
+	// browser bundle: 1.5 MB
+	// compression: 28x
+}
+
+// The synthetic benchmark datasets mirror the paper's shapes and class
+// counts, ordered by difficulty.
+func ExampleGenerateDataset() {
+	for _, name := range lcrs.DatasetNames() {
+		ds, err := lcrs.GenerateDataset(name, 10, 1)
+		if err != nil {
+			panic(err)
+		}
+		shape := ds.SampleShape()
+		fmt.Printf("%s: %d classes, %dx%dx%d\n", name, ds.Classes, shape[0], shape[1], shape[2])
+	}
+	// Output:
+	// mnist: 10 classes, 1x28x28
+	// fashion: 10 classes, 1x28x28
+	// cifar10: 10 classes, 3x32x32
+	// cifar100: 100 classes, 3x32x32
+}
+
+// Packing a binary branch produces the bit-level executor the web client
+// runs; its footprint is a fraction of the float parameters.
+func ExamplePackBinaryBranch() {
+	cfg := lcrs.ModelConfig{Classes: 10, InC: 1, InH: 28, InW: 28, WidthScale: 0.25, Seed: 1}
+	m, err := lcrs.Build("lenet", cfg)
+	if err != nil {
+		panic(err)
+	}
+	pb := lcrs.PackBinaryBranch(m)
+	fmt.Println(pb.Stages() > 0, pb.SizeBytes() < m.MainSizeBytes())
+	// Output:
+	// true true
+}
+
+// The cost model decomposes a 4G link the way the paper's communication
+// tables do: payload over bandwidth plus half an RTT.
+func ExampleFourGLink() {
+	link := lcrs.FourGLink()
+	fmt.Println(link.DownTime(1_250_000)) // 10 Mb at 10 Mb/s + RTT/2
+	// Output:
+	// 1.02s
+}

@@ -1,0 +1,76 @@
+// Latency sweep (Figure 6 flavour): run collaborative-inference sessions
+// across link profiles (3G / 4G / WiFi) and growing sample counts, showing
+// how exit rate keeps the average stable while model-load amortization and
+// jitter move it.
+//
+//	go run ./examples/latency-sweep
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"lcrs"
+)
+
+func main() {
+	log.SetFlags(0)
+
+	cfg := lcrs.ModelConfig{Classes: 10, InC: 3, InH: 32, InW: 32, WidthScale: 0.12, Seed: 1}
+	model, err := lcrs.Build("alexnet", cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	full, err := lcrs.GenerateDataset("cifar10", 700, 2)
+	if err != nil {
+		log.Fatal(err)
+	}
+	train, test := full.Split(0.8)
+	opts := lcrs.DefaultTrainOptions()
+	opts.Epochs = 8
+	res, err := lcrs.Train(model, train, test, opts)
+	if err != nil {
+		log.Fatal(err)
+	}
+	ev := lcrs.Evaluate(model, test, 32)
+	tau, _ := lcrs.ScreenThresholdAccuracyPreserving(ev)
+	fmt.Printf("alexnet on cifar10: main %.1f%%, binary %.1f%%, tau %.4f\n\n",
+		res.MainAcc*100, res.BinaryAcc*100, tau)
+
+	links := []*lcrs.Link{lcrs.ThreeGLink(), lcrs.FourGLink(), lcrs.WiFiLink()}
+	counts := []int{10, 25, 50, 100}
+
+	fmt.Printf("%-6s", "link")
+	for _, n := range counts {
+		fmt.Printf("  n=%-9d", n)
+	}
+	fmt.Println("exit%")
+	for _, link := range links {
+		link.Seed(1)
+		cost := lcrs.CostModel{
+			Client: lcrs.MobileBrowserProfile(),
+			Server: lcrs.EdgeServerProfile(),
+			Link:   link,
+		}
+		rt, err := lcrs.NewRuntime(model, tau, cost)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-6s", link.Name)
+		var lastExit float64
+		for _, n := range counts {
+			if n > test.Len() {
+				n = test.Len()
+			}
+			st, err := rt.RunSession(test, n)
+			if err != nil {
+				log.Fatal(err)
+			}
+			fmt.Printf("  %-11v", st.AvgTotal.Round(100*time.Microsecond))
+			lastExit = st.ExitRate
+		}
+		fmt.Printf("%.0f%%\n", lastExit*100)
+	}
+	fmt.Println("\nColumns are session-average end-to-end latency (model load amortized over the session).")
+}

@@ -1,0 +1,79 @@
+// Quickstart: train a small LCRS composite on the synthetic MNIST stand-in,
+// screen the entropy exit threshold, and run collaborative inference
+// (Algorithm 2) under the paper's 4G cost model — all in-process.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+	"time"
+
+	"lcrs"
+)
+
+func main() {
+	log.SetFlags(0)
+
+	// 1. Build the composite model: shared conv1, full-precision main
+	// branch, binary branch. WidthScale 0.15 keeps CPU training quick;
+	// WidthScale 1 builds the paper-size network.
+	cfg := lcrs.ModelConfig{Classes: 10, InC: 1, InH: 28, InW: 28, WidthScale: 0.15, Seed: 1}
+	model, err := lcrs.Build("lenet", cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("built lenet: main %.2f MB, browser bundle %.3f MB (%.0fx smaller)\n",
+		float64(model.MainSizeBytes())/(1<<20),
+		float64(model.BinarySizeBytes())/(1<<20),
+		float64(model.MainSizeBytes())/float64(model.BinarySizeBytes()))
+
+	// 2. Generate data and train both branches jointly (Algorithm 1).
+	full, err := lcrs.GenerateDataset("mnist", 800, 2)
+	if err != nil {
+		log.Fatal(err)
+	}
+	train, test := full.Split(0.8)
+	opts := lcrs.DefaultTrainOptions()
+	opts.Epochs = 10
+	opts.Log = os.Stdout
+	res, err := lcrs.Train(model, train, test, opts)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\ntrained: main acc %.1f%%, binary acc %.1f%%\n", res.MainAcc*100, res.BinaryAcc*100)
+
+	// 3. Screen the exit threshold (Eq. 7 + BranchyNet-style screening).
+	ev := lcrs.Evaluate(model, test, 32)
+	tau, st := lcrs.ScreenThresholdAccuracyPreserving(ev)
+	fmt.Printf("screened tau %.4f: exit rate %.0f%%, combined acc %.1f%%\n",
+		tau, st.ExitRate*100, st.CombinedAccuracy*100)
+
+	// 4. Collaborative inference under the calibrated 4G cost model.
+	rt, err := lcrs.NewRuntime(model, tau, lcrs.DefaultCostModel())
+	if err != nil {
+		log.Fatal(err)
+	}
+	session, err := rt.RunSession(test, 50)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nsession of %d samples over 4G:\n", session.N)
+	fmt.Printf("  model load (once)   %8v\n", session.ModelLoad.Round(time.Millisecond))
+	fmt.Printf("  avg total latency   %8v\n", session.AvgTotal.Round(time.Millisecond))
+	fmt.Printf("  avg communication   %8v\n", session.AvgComm.Round(time.Millisecond))
+	fmt.Printf("  exit rate           %7.0f%%\n", session.ExitRate*100)
+	fmt.Printf("  end-to-end accuracy %7.1f%%\n", session.Accuracy*100)
+
+	// 5. Inspect one sample's journey.
+	x, label := test.Sample(0)
+	rec := rt.Infer(x)
+	path := "edge collaboration (LCRS-M)"
+	if rec.Exited {
+		path = "binary branch exit (LCRS-B)"
+	}
+	fmt.Printf("\nsample 0 (label %d): pred %d via %s, entropy %.4f, latency %v\n",
+		label, rec.Pred, path, rec.Entropy, rec.Total().Round(time.Microsecond))
+}

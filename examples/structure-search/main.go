@@ -1,0 +1,60 @@
+// Structure search (Figure 4): sweep the binary branch's architecture on
+// the AlexNet main branch — more binary conv layers vs more binary FC
+// layers — and report accuracy against deployed size, reproducing the
+// paper's finding that extra binary convolutions cost accuracy faster than
+// extra binary FC layers.
+//
+//	go run ./examples/structure-search
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"lcrs"
+)
+
+func main() {
+	log.SetFlags(0)
+
+	full, err := lcrs.GenerateDataset("cifar10", 600, 2)
+	if err != nil {
+		log.Fatal(err)
+	}
+	train, test := full.Split(0.8)
+	cfg := lcrs.ModelConfig{Classes: 10, InC: 3, InH: 32, InW: 32, WidthScale: 0.12, Seed: 1}
+
+	evaluate := func(shape lcrs.BranchShape) (accPct, sizeMB float64) {
+		m, err := lcrs.BuildWithBranch(cfg, shape)
+		if err != nil {
+			log.Fatal(err)
+		}
+		opts := lcrs.DefaultTrainOptions()
+		opts.Epochs = 8
+		res, err := lcrs.Train(m, train, test, opts)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fullCfg := cfg
+		fullCfg.WidthScale = 1
+		ref, err := lcrs.BuildWithBranch(fullCfg, shape)
+		if err != nil {
+			log.Fatal(err)
+		}
+		return res.BinaryAcc * 100, float64(ref.BinarySizeBytes()) / (1 << 20)
+	}
+
+	fmt.Println("Figure 4(a): varying binary conv layers (1 binary FC)")
+	fmt.Printf("%-16s %-10s %s\n", "structure", "B_Acc(%)", "B_size(MB, full scale)")
+	for n := 1; n <= 4; n++ {
+		acc, size := evaluate(lcrs.BranchShape{NBinaryConv: n, NBinaryFC: 1})
+		fmt.Printf("%d conv + 1 fc    %-10.1f %.3f\n", n, acc, size)
+	}
+
+	fmt.Println("\nFigure 4(b): varying binary FC layers (1 binary conv)")
+	fmt.Printf("%-16s %-10s %s\n", "structure", "B_Acc(%)", "B_size(MB, full scale)")
+	for n := 1; n <= 3; n++ {
+		acc, size := evaluate(lcrs.BranchShape{NBinaryConv: 1, NBinaryFC: n})
+		fmt.Printf("1 conv + %d fc    %-10.1f %.3f\n", n, acc, size)
+	}
+}

@@ -1,0 +1,3 @@
+module lcrs
+
+go 1.22

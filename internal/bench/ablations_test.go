@@ -1,0 +1,113 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestAblationRegistry(t *testing.T) {
+	want := []string{
+		"ablation-location", "ablation-branches", "ablation-tau",
+		"ablation-links", "ablation-concurrency", "ablation-energy", "ablation-bits",
+	}
+	got := Ablations()
+	if len(got) != len(want) {
+		t.Fatalf("have %d ablations, want %d", len(got), len(want))
+	}
+	for i, id := range want {
+		if got[i].ID != id {
+			t.Fatalf("ablation[%d] = %s, want %s", i, got[i].ID, id)
+		}
+		if _, err := ByID(id); err != nil {
+			t.Fatalf("ByID(%s): %v", id, err)
+		}
+	}
+}
+
+func TestAblationBranchesQuick(t *testing.T) {
+	r := quickRunner()
+	if err := r.AblationBranches(); err != nil {
+		t.Fatal(err)
+	}
+	out := output(r)
+	if !strings.Contains(out, "E[two](ms)") {
+		t.Fatalf("missing columns:\n%s", out)
+	}
+	// Every delta row must be positive (the §IV-D1 conclusion) — scan the
+	// last column.
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	for _, line := range lines {
+		fields := strings.Fields(line)
+		if len(fields) != 5 || !strings.HasSuffix(fields[0], "%") {
+			continue
+		}
+		if strings.HasPrefix(fields[4], "-") {
+			t.Fatalf("negative two-branch delta in %q", line)
+		}
+	}
+}
+
+func TestAblationTauQuick(t *testing.T) {
+	r := quickRunner()
+	if err := r.AblationTau(); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(output(r), "frontier") {
+		t.Fatalf("missing output:\n%s", output(r))
+	}
+}
+
+func TestAblationLinksQuick(t *testing.T) {
+	r := quickRunner()
+	if err := r.AblationLinks(); err != nil {
+		t.Fatal(err)
+	}
+	out := output(r)
+	for _, link := range []string{"3g", "4g", "paper-4g", "wifi"} {
+		if !strings.Contains(out, link) {
+			t.Fatalf("missing link %s:\n%s", link, out)
+		}
+	}
+}
+
+func TestAblationLocationQuick(t *testing.T) {
+	r := quickRunner()
+	if err := r.AblationLocation(); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(output(r), "location sweep") {
+		t.Fatalf("missing output:\n%s", output(r))
+	}
+}
+
+func TestAblationConcurrencyQuick(t *testing.T) {
+	r := quickRunner()
+	if err := r.AblationConcurrency(); err != nil {
+		t.Fatal(err)
+	}
+	out := output(r)
+	if !strings.Contains(out, "EdgeOnly p95 wait") || !strings.Contains(out, "LCRS p95 wait") {
+		t.Fatalf("missing columns:\n%s", out)
+	}
+}
+
+func TestAblationEnergyQuick(t *testing.T) {
+	r := quickRunner()
+	if err := r.AblationEnergy(); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(output(r), "energy per recognition") {
+		t.Fatalf("missing output:\n%s", output(r))
+	}
+}
+
+func TestAblationBitsQuick(t *testing.T) {
+	r := quickRunner()
+	if err := r.AblationBits(); err != nil {
+		t.Fatal(err)
+	}
+	out := output(r)
+	if !strings.Contains(out, "precision sweep") || !strings.Contains(out, "float32") {
+		t.Fatalf("missing output:\n%s", out)
+	}
+}

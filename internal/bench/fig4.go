@@ -1,0 +1,75 @@
+package bench
+
+import (
+	"fmt"
+
+	"lcrs/internal/dataset"
+	"lcrs/internal/models"
+	"lcrs/internal/training"
+)
+
+// Fig4 regenerates Figure 4: accuracy and model size of different binary
+// branch structures on the AlexNet main branch. Panel (a) sweeps the number
+// of binary convolutional layers with one binary FC layer; panel (b) sweeps
+// the number of binary FC layers with one binary convolutional layer. The
+// paper's finding to reproduce: extra binary conv layers cost accuracy
+// faster than extra binary FC layers.
+func (r *Runner) Fig4() error {
+	dsName := "cifar10"
+	if r.Cfg.Quick {
+		dsName = "mnist"
+	}
+	spec := mustSpec(dsName)
+	full := dataset.Generate(spec, r.Cfg.TrainSamples, r.Cfg.Seed)
+	train, test := full.Split(0.8)
+
+	run := func(shape models.BranchShape) (accPct, sizeMB float64, err error) {
+		m, err := models.AlexNetWithBranch(r.modelConfig(spec, r.Cfg.Scale), shape)
+		if err != nil {
+			return 0, 0, err
+		}
+		res, err := training.Run(m, train, test, training.Options{
+			Epochs: r.Cfg.Epochs, BatchSize: 32,
+			MainLR: 1e-3, BinaryLR: 1e-3, ClipNorm: 5, Seed: r.Cfg.Seed,
+		})
+		if err != nil {
+			return 0, 0, err
+		}
+		fullM, err := models.AlexNetWithBranch(r.modelConfig(spec, 1), shape)
+		if err != nil {
+			return 0, 0, err
+		}
+		return res.BinaryAcc * 100, float64(fullM.BinarySizeBytes()) / (1 << 20), nil
+	}
+
+	maxConv, maxFC := 4, 3
+	if r.Cfg.Quick {
+		maxConv, maxFC = 2, 2
+	}
+
+	r.printf("Figure 4(a): n binary conv layers + 1 binary FC layer (%s)\n", dsName)
+	header := []string{"Structure", "B_Acc(%)", "B_size(MB)"}
+	var rows [][]string
+	for n := 1; n <= maxConv; n++ {
+		acc, size, err := run(models.BranchShape{NBinaryConv: n, NBinaryFC: 1})
+		if err != nil {
+			return err
+		}
+		rows = append(rows, []string{fmt.Sprintf("%d conv + 1 fc", n),
+			fmt.Sprintf("%.2f", acc), fmt.Sprintf("%.3f", size)})
+	}
+	r.table(header, rows)
+
+	r.printf("\nFigure 4(b): 1 binary conv layer + n binary FC layers (%s)\n", dsName)
+	rows = nil
+	for n := 1; n <= maxFC; n++ {
+		acc, size, err := run(models.BranchShape{NBinaryConv: 1, NBinaryFC: n})
+		if err != nil {
+			return err
+		}
+		rows = append(rows, []string{fmt.Sprintf("1 conv + %d fc", n),
+			fmt.Sprintf("%.2f", acc), fmt.Sprintf("%.3f", size)})
+	}
+	r.table(header, rows)
+	return nil
+}

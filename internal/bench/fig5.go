@@ -1,0 +1,26 @@
+package bench
+
+import "fmt"
+
+// Fig5 regenerates Figure 5: per-epoch test accuracy of the binary branch
+// for every network/dataset pair, as comma-separated series suitable for
+// plotting. The shape to reproduce: rapid early convergence, with easier
+// datasets converging higher.
+func (r *Runner) Fig5() error {
+	r.printf("Figure 5: training performance of the binary branch (test accuracy %% per epoch)\n")
+	for _, arch := range r.nets() {
+		for _, ds := range r.datasets() {
+			tm, err := r.train(arch, ds)
+			if err != nil {
+				return err
+			}
+			r.printf("%s-%s:", arch, ds)
+			for _, ep := range tm.res.History {
+				r.printf(" %.1f", ep.BinaryAcc*100)
+			}
+			r.printf("\n")
+		}
+	}
+	fmt.Fprintln(r.Cfg.Out)
+	return nil
+}

@@ -1,0 +1,43 @@
+package bench
+
+import (
+	"fmt"
+)
+
+// Table1 regenerates Table I: per network/dataset pair, the training
+// accuracy of the main and binary branches, the screened exit threshold,
+// the exit rate over a session of random samples, and the model sizes of
+// both branches. Accuracies come from width-scaled training on the
+// synthetic datasets; sizes come from the full-scale architecture builds,
+// exactly as DESIGN.md's substitution table documents.
+func (r *Runner) Table1() error {
+	header := []string{"Network/Dataset", "M_Acc(%)", "B_Acc(%)", "Tau", "Exit(%)", "M_size(MB)", "B_size(MB)"}
+	var rows [][]string
+	for _, arch := range r.nets() {
+		for _, ds := range r.datasets() {
+			tm, err := r.train(arch, ds)
+			if err != nil {
+				return err
+			}
+			spec := tm.test.SampleShape()
+			_ = spec
+			fullCfg := r.modelConfig(mustSpec(ds), 1)
+			full, err := buildFull(arch, fullCfg)
+			if err != nil {
+				return err
+			}
+			rows = append(rows, []string{
+				fmt.Sprintf("%s-%s", arch, ds),
+				fmt.Sprintf("%.2f", tm.res.MainAcc*100),
+				fmt.Sprintf("%.2f", tm.res.BinaryAcc*100),
+				fmt.Sprintf("%.4f", tm.tau),
+				fmt.Sprintf("%.0f", tm.exit.ExitRate*100),
+				fmt.Sprintf("%.3f", float64(full.MainSizeBytes())/(1<<20)),
+				fmt.Sprintf("%.3f", float64(full.BinarySizeBytes())/(1<<20)),
+			})
+		}
+	}
+	r.printf("Table I: performance of training results\n")
+	r.table(header, rows)
+	return nil
+}

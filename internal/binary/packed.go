@@ -1,0 +1,143 @@
+package binary
+
+import (
+	"fmt"
+
+	"lcrs/internal/tensor"
+)
+
+// PackedConv2D is the deployment form of a trained binary convolution: one
+// bit per weight plus a float scale per filter. Its forward pass is the
+// XNOR+popcount kernel the paper's WASM library runs on the mobile web
+// browser. It is inference-only.
+type PackedConv2D struct {
+	Name   string
+	InC    int
+	OutC   int
+	KH, KW int
+	Stride int
+	Pad    int
+	Alpha  []float32     // per-filter scale
+	Bias   []float32     // per-filter bias
+	W      *PackedMatrix // OutC rows of InC*KH*KW bits
+}
+
+// PackConv2D converts a trained training-time binary conv into its packed
+// deployment form.
+func PackConv2D(c *Conv2D) *PackedConv2D {
+	k := c.InC * c.KH * c.KW
+	p := &PackedConv2D{
+		Name: c.name, InC: c.InC, OutC: c.OutC, KH: c.KH, KW: c.KW,
+		Stride: c.Stride, Pad: c.Pad,
+		Alpha: FilterAlphas(c.Weight.Value),
+		Bias:  append([]float32(nil), c.Bias.Value.Data...),
+		W:     NewPackedMatrix(c.OutC, k),
+	}
+	w2d := c.Weight.Value.Reshape(c.OutC, k)
+	for o := 0; o < c.OutC; o++ {
+		p.W.PackRow(o, w2d.Row(o))
+	}
+	return p
+}
+
+// Geom returns the convolution geometry for a CHW input shape.
+func (p *PackedConv2D) Geom(in []int) tensor.ConvGeom {
+	if len(in) != 3 || in[0] != p.InC {
+		panic(fmt.Sprintf("binary: %s expects (%d,H,W) sample shape, got %v", p.Name, p.InC, in))
+	}
+	return tensor.ConvGeom{InC: p.InC, InH: in[1], InW: in[2], KH: p.KH, KW: p.KW, Stride: p.Stride, Pad: p.Pad}
+}
+
+// OutShape returns the per-sample output shape.
+func (p *PackedConv2D) OutShape(in []int) []int {
+	g := p.Geom(in)
+	return []int{p.OutC, g.OutH(), g.OutW()}
+}
+
+// SizeBytes returns the deployed size: packed bits + alpha + bias floats.
+func (p *PackedConv2D) SizeBytes() int64 {
+	return p.W.SizeBytes() + int64(len(p.Alpha))*4 + int64(len(p.Bias))*4
+}
+
+// Forward runs the packed XNOR convolution on a float NCHW input,
+// binarizing the input on the fly with the K scaling matrix (Eq. 4).
+func (p *PackedConv2D) Forward(x *tensor.Tensor) *tensor.Tensor {
+	n := x.Dim(0)
+	g := p.Geom(x.Shape[1:])
+	outH, outW := g.OutH(), g.OutW()
+	pp := outH * outW
+	k := p.InC * p.KH * p.KW
+
+	out := tensor.New(n, p.OutC, outH, outW)
+	raw := make([]float32, pp*k)
+	cols := NewPackedMatrix(pp, k)
+	for i := 0; i < n; i++ {
+		img := x.Batch(i).Data
+		g.Im2Col(raw, img)
+		ks := InputScales(g, img)
+		for pos := 0; pos < pp; pos++ {
+			cols.PackRow(pos, raw[pos*k:(pos+1)*k])
+		}
+		ob := out.Batch(i)
+		for o := 0; o < p.OutC; o++ {
+			wrow := p.W.Row(o)
+			alpha := p.Alpha[o]
+			bias := p.Bias[o]
+			plane := ob.Data[o*pp : (o+1)*pp]
+			for pos := 0; pos < pp; pos++ {
+				dot := XnorDot(wrow, cols.Row(pos), k)
+				plane[pos] = alpha*ks[pos]*float32(dot) + bias
+			}
+		}
+	}
+	return out
+}
+
+// PackedLinear is the deployment form of a trained binary dense layer.
+type PackedLinear struct {
+	Name    string
+	In, Out int
+	Alpha   []float32
+	Bias    []float32
+	W       *PackedMatrix // Out rows of In bits
+}
+
+// PackLinear converts a trained binary dense layer into packed form.
+func PackLinear(l *Linear) *PackedLinear {
+	p := &PackedLinear{
+		Name: l.name, In: l.In, Out: l.Out,
+		Alpha: FilterAlphas(l.Weight.Value),
+		Bias:  append([]float32(nil), l.Bias.Value.Data...),
+		W:     NewPackedMatrix(l.Out, l.In),
+	}
+	for o := 0; o < l.Out; o++ {
+		p.W.PackRow(o, l.Weight.Value.Row(o))
+	}
+	return p
+}
+
+// SizeBytes returns the deployed size: packed bits + alpha + bias floats.
+func (p *PackedLinear) SizeBytes() int64 {
+	return p.W.SizeBytes() + int64(len(p.Alpha))*4 + int64(len(p.Bias))*4
+}
+
+// Forward runs the packed XNOR dense layer on (batch, In) float input.
+func (p *PackedLinear) Forward(x *tensor.Tensor) *tensor.Tensor {
+	if x.Rank() != 2 || x.Dim(1) != p.In {
+		panic(fmt.Sprintf("binary: %s expects (batch,%d) input, got %v", p.Name, p.In, x.Shape))
+	}
+	n := x.Dim(0)
+	out := tensor.New(n, p.Out)
+	xrow := make([]uint64, wordsFor(p.In))
+	for i := 0; i < n; i++ {
+		row := x.Row(i)
+		beta := RowScale(row)
+		PackSigns(xrow, row)
+		dst := out.Row(i)
+		for o := 0; o < p.Out; o++ {
+			dot := XnorDot(p.W.Row(o), xrow, p.In)
+			dst[o] = p.Alpha[o]*beta*float32(dot) + p.Bias[o]
+		}
+	}
+	return out
+}

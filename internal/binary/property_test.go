@@ -1,0 +1,150 @@
+package binary
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"lcrs/internal/tensor"
+)
+
+// XNOR-Net's analytical result: among all approximations W ~ alpha*B with
+// B in {-1,+1}^n and alpha >= 0, the L2-optimal choice is B = sign(W),
+// alpha = mean|W|. Verify EstimateWeights achieves a reconstruction error
+// no worse than random alternative (B, alpha) candidates.
+func TestEstimateWeightsIsL2Optimal(t *testing.T) {
+	f := func(seed int64, rawLen uint8) bool {
+		n := int(rawLen%32) + 2
+		g := tensor.NewRNG(seed)
+		w := g.Normal(0, 1, 1, n)
+
+		est := tensor.New(1, n)
+		EstimateWeights(est, w)
+		optErr := l2diff(w.Data, est.Data)
+
+		// Random alternatives must not beat it.
+		for trial := 0; trial < 8; trial++ {
+			alpha := float32(g.Float64() * 2)
+			alt := make([]float32, n)
+			for i := range alt {
+				if g.Float64() < 0.5 {
+					alt[i] = -alpha
+				} else {
+					alt[i] = alpha
+				}
+			}
+			if l2diff(w.Data, alt) < optErr-1e-5 {
+				return false
+			}
+		}
+		// Perturbing the optimal alpha must not help either.
+		for _, eps := range []float32{-0.1, 0.1} {
+			alt := make([]float32, n)
+			for i := range alt {
+				scale := est.Data[i] * (1 + eps)
+				alt[i] = scale
+			}
+			if l2diff(w.Data, alt) < optErr-1e-5 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func l2diff(a, b []float32) float64 {
+	var s float64
+	for i := range a {
+		d := float64(a[i] - b[i])
+		s += d * d
+	}
+	return s
+}
+
+// Packing then XNOR-dotting against itself must give exactly n for any
+// vector (a vector always agrees with itself).
+func TestXnorSelfDotQuick(t *testing.T) {
+	f := func(seed int64, rawLen uint16) bool {
+		n := int(rawLen%500) + 1
+		g := tensor.NewRNG(seed)
+		v := g.Uniform(-1, 1, n)
+		p := make([]uint64, wordsFor(n))
+		PackSigns(p, v.Data)
+		return XnorDot(p, p, n) == int32(n)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Negating a vector must negate its XNOR dot with any other vector.
+func TestXnorDotAntisymmetryQuick(t *testing.T) {
+	f := func(seed int64, rawLen uint16) bool {
+		n := int(rawLen%300) + 1
+		g := tensor.NewRNG(seed)
+		a := g.Uniform(-1, 1, n)
+		b := g.Uniform(-1, 1, n)
+		neg := b.Clone()
+		for i := range neg.Data {
+			// Flip strictly: sign(0)=+1, so negate through a tiny offset.
+			if neg.Data[i] >= 0 {
+				neg.Data[i] = -1
+			} else {
+				neg.Data[i] = 1
+			}
+		}
+		pa := make([]uint64, wordsFor(n))
+		pb := make([]uint64, wordsFor(n))
+		pn := make([]uint64, wordsFor(n))
+		PackSigns(pa, a.Data)
+		PackSigns(pb, b.Data)
+		PackSigns(pn, neg.Data)
+		return XnorDot(pa, pb, n) == -XnorDot(pa, pn, n)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// The packed linear layer must agree with its float simulation on random
+// shapes, not just the fixed-size cases of the example tests.
+func TestPackedLinearEquivalenceQuick(t *testing.T) {
+	f := func(seed int64, rawIn, rawOut uint8) bool {
+		in := int(rawIn%120) + 2
+		out := int(rawOut%20) + 1
+		g := tensor.NewRNG(seed)
+		l := NewLinear("bl", g, in, out)
+		x := g.Uniform(-2, 2, 2, in)
+		want := l.Forward(x, false)
+		got := PackLinear(l).Forward(x)
+		return tensor.Equal(want, got, 1e-2)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Alpha must be non-negative and zero only for all-zero filters.
+func TestFilterAlphasNonNegativeQuick(t *testing.T) {
+	f := func(seed int64, rawLen uint8) bool {
+		n := int(rawLen%64) + 1
+		g := tensor.NewRNG(seed)
+		w := g.Normal(0, 1, 2, n)
+		for _, a := range FilterAlphas(w) {
+			if a < 0 || math.IsNaN(float64(a)) {
+				return false
+			}
+		}
+		zero := tensor.New(1, n)
+		if FilterAlphas(zero)[0] != 0 {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,92 @@
+package collab
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+
+	"lcrs/internal/tensor"
+)
+
+// Wire protocol between the web client and the edge server. Tensors travel
+// as little-endian frames: rank, dims, float32 payload. The frame layout is
+// deliberately minimal — the intermediate activation dominates the payload
+// and its size is exactly what the paper's communication-cost tables count.
+
+const (
+	frameMagic = uint32(0x4C435446) // "LCTF"
+	maxRank    = 8
+	maxElems   = 64 << 20 // 256 MB of float32 — far above any real tensor
+)
+
+// WriteTensor encodes t as a frame on w.
+func WriteTensor(w io.Writer, t *tensor.Tensor) error {
+	if len(t.Shape) > maxRank {
+		return fmt.Errorf("collab: tensor rank %d exceeds protocol max %d", len(t.Shape), maxRank)
+	}
+	hdr := []uint32{frameMagic, uint32(len(t.Shape))}
+	for _, v := range hdr {
+		if err := binary.Write(w, binary.LittleEndian, v); err != nil {
+			return fmt.Errorf("collab: write frame header: %w", err)
+		}
+	}
+	for _, d := range t.Shape {
+		if d <= 0 || d > math.MaxInt32 {
+			return fmt.Errorf("collab: dimension %d not encodable", d)
+		}
+		if err := binary.Write(w, binary.LittleEndian, uint32(d)); err != nil {
+			return fmt.Errorf("collab: write frame dims: %w", err)
+		}
+	}
+	if err := binary.Write(w, binary.LittleEndian, t.Data); err != nil {
+		return fmt.Errorf("collab: write frame payload: %w", err)
+	}
+	return nil
+}
+
+// ReadTensor decodes one frame from r. It rejects malformed and
+// implausibly large frames so a broken peer cannot trigger huge
+// allocations.
+func ReadTensor(r io.Reader) (*tensor.Tensor, error) {
+	var magic, rank uint32
+	if err := binary.Read(r, binary.LittleEndian, &magic); err != nil {
+		return nil, fmt.Errorf("collab: read frame magic: %w", err)
+	}
+	if magic != frameMagic {
+		return nil, fmt.Errorf("collab: bad frame magic 0x%08x", magic)
+	}
+	if err := binary.Read(r, binary.LittleEndian, &rank); err != nil {
+		return nil, fmt.Errorf("collab: read frame rank: %w", err)
+	}
+	if rank == 0 || rank > maxRank {
+		return nil, fmt.Errorf("collab: frame rank %d out of range", rank)
+	}
+	shape := make([]int, rank)
+	elems := 1
+	for i := range shape {
+		var d uint32
+		if err := binary.Read(r, binary.LittleEndian, &d); err != nil {
+			return nil, fmt.Errorf("collab: read frame dims: %w", err)
+		}
+		if d == 0 {
+			return nil, fmt.Errorf("collab: zero dimension in frame")
+		}
+		shape[i] = int(d)
+		elems *= int(d)
+		if elems > maxElems {
+			return nil, fmt.Errorf("collab: frame of %d elements exceeds limit", elems)
+		}
+	}
+	t := tensor.New(shape...)
+	if err := binary.Read(r, binary.LittleEndian, t.Data); err != nil {
+		return nil, fmt.Errorf("collab: read frame payload: %w", err)
+	}
+	return t, nil
+}
+
+// FrameBytes returns the encoded size of a tensor frame without encoding
+// it, for cost accounting.
+func FrameBytes(t *tensor.Tensor) int64 {
+	return int64(8 + 4*len(t.Shape) + 4*t.Len())
+}

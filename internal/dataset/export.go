@@ -1,0 +1,67 @@
+package dataset
+
+import (
+	"fmt"
+	"image"
+	"image/color"
+	"image/png"
+	"io"
+)
+
+// SampleImage converts sample i to an image.Image, mapping the roughly
+// [-1,1] float range onto 8-bit intensities (single-channel datasets render
+// as gray).
+func (d *Dataset) SampleImage(i int) image.Image {
+	x, _ := d.Sample(i)
+	c, h, w := x.Dim(0), x.Dim(1), x.Dim(2)
+	img := image.NewRGBA(image.Rect(0, 0, w, h))
+	at := func(ch, y, xx int) uint8 {
+		v := x.Data[ch*h*w+y*w+xx]
+		s := (v + 1) / 2 * 255
+		if s < 0 {
+			s = 0
+		}
+		if s > 255 {
+			s = 255
+		}
+		return uint8(s)
+	}
+	for y := 0; y < h; y++ {
+		for xx := 0; xx < w; xx++ {
+			var px color.RGBA
+			if c >= 3 {
+				px = color.RGBA{R: at(0, y, xx), G: at(1, y, xx), B: at(2, y, xx), A: 255}
+			} else {
+				g := at(0, y, xx)
+				px = color.RGBA{R: g, G: g, B: g, A: 255}
+			}
+			img.Set(xx, y, px)
+		}
+	}
+	return img
+}
+
+// WriteContactSheet renders the first rows*cols samples as a PNG grid with
+// 1-pixel separators, a quick way to eyeball what the generators produce.
+func (d *Dataset) WriteContactSheet(w io.Writer, rows, cols int) error {
+	if rows <= 0 || cols <= 0 {
+		return fmt.Errorf("dataset: contact sheet needs positive grid, got %dx%d", rows, cols)
+	}
+	if rows*cols > d.Len() {
+		return fmt.Errorf("dataset: grid %dx%d needs %d samples, have %d", rows, cols, rows*cols, d.Len())
+	}
+	shape := d.SampleShape()
+	sh, sw := shape[1], shape[2]
+	sheet := image.NewRGBA(image.Rect(0, 0, cols*(sw+1)-1, rows*(sh+1)-1))
+	for r := 0; r < rows; r++ {
+		for c := 0; c < cols; c++ {
+			img := d.SampleImage(r*cols + c)
+			for y := 0; y < sh; y++ {
+				for x := 0; x < sw; x++ {
+					sheet.Set(c*(sw+1)+x, r*(sh+1)+y, img.At(x, y))
+				}
+			}
+		}
+	}
+	return png.Encode(w, sheet)
+}

@@ -1,0 +1,39 @@
+// Package device models the compute capability of the paper's execution
+// targets. The paper measures a HUAWEI Mate 9 running Firefox (binary branch
+// via the JS/WASM library) and an IBM X3640M4 edge server; neither is
+// available here, so latency experiments charge compute as FLOPs divided by
+// an effective throughput calibrated to land in the paper's measured ranges
+// (see EXPERIMENTS.md). Binary layers already discount their FLOPs for
+// 64-wide XNOR lanes, so one profile covers both float and binary stages.
+package device
+
+import (
+	"fmt"
+	"time"
+)
+
+// Profile is an execution target with an effective sustained throughput.
+type Profile struct {
+	// Name identifies the device in reports.
+	Name string
+	// GFLOPS is the effective throughput in billions of float operations
+	// per second.
+	GFLOPS float64
+}
+
+// ComputeTime returns how long the device needs for the given operation
+// count.
+func (p Profile) ComputeTime(flops int64) time.Duration {
+	if p.GFLOPS <= 0 {
+		panic(fmt.Sprintf("device: profile %q has non-positive throughput", p.Name))
+	}
+	return time.Duration(float64(flops) / (p.GFLOPS * 1e9) * float64(time.Second))
+}
+
+// MobileBrowser models the paper's phone browser: single-threaded
+// 2017-era WASM without SIMD sustains a few hundred MFLOPS on convolution
+// workloads — the resource ceiling that motivates the whole system.
+func MobileBrowser() Profile { return Profile{Name: "mobile-web-browser", GFLOPS: 0.25} }
+
+// EdgeServer models the paper's Xeon E5-2640 edge box.
+func EdgeServer() Profile { return Profile{Name: "edge-server", GFLOPS: 50} }

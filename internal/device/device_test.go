@@ -1,0 +1,41 @@
+package device
+
+import (
+	"testing"
+	"time"
+)
+
+func TestComputeTime(t *testing.T) {
+	p := Profile{Name: "test", GFLOPS: 1}
+	if got := p.ComputeTime(1e9); got != time.Second {
+		t.Fatalf("1 GFLOP at 1 GFLOPS = %v, want 1s", got)
+	}
+	if got := p.ComputeTime(0); got != 0 {
+		t.Fatalf("zero work = %v, want 0", got)
+	}
+}
+
+func TestComputeTimeScalesWithThroughput(t *testing.T) {
+	slow := Profile{Name: "slow", GFLOPS: 2}
+	fast := Profile{Name: "fast", GFLOPS: 100}
+	work := int64(4e9)
+	ratio := float64(slow.ComputeTime(work)) / float64(fast.ComputeTime(work))
+	if ratio < 49 || ratio > 51 {
+		t.Fatalf("speed ratio = %v, want 50", ratio)
+	}
+}
+
+func TestComputeTimePanicsOnBadProfile(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("zero-throughput profile did not panic")
+		}
+	}()
+	Profile{Name: "broken"}.ComputeTime(1)
+}
+
+func TestStandardProfilesOrdered(t *testing.T) {
+	if MobileBrowser().GFLOPS >= EdgeServer().GFLOPS {
+		t.Fatal("edge server must be faster than the mobile browser")
+	}
+}

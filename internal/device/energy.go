@@ -1,0 +1,53 @@
+package device
+
+import "time"
+
+// EnergyModel estimates the mobile device's energy per recognition — the
+// second resource the paper's abstract says edge-based recognition puts
+// pressure on. Energy decomposes the same way latency does: compute energy
+// proportional to FLOPs and radio energy proportional to airtime, the
+// standard first-order smartphone model.
+type EnergyModel struct {
+	// ComputeJPerGFLOP is the energy per billion operations on the device.
+	ComputeJPerGFLOP float64
+	// RadioTxW and RadioRxW are transmit/receive radio powers.
+	RadioTxW, RadioRxW float64
+	// IdleW is the baseline draw while waiting for the edge.
+	IdleW float64
+}
+
+// MobileEnergy returns a 4G-smartphone energy model: roughly 1 J per
+// GFLOP of CPU work and cellular radio powers around 1-2 W.
+func MobileEnergy() EnergyModel {
+	return EnergyModel{ComputeJPerGFLOP: 1.0, RadioTxW: 1.8, RadioRxW: 1.2, IdleW: 0.4}
+}
+
+// ComputeJ returns the energy for flops of on-device work.
+func (e EnergyModel) ComputeJ(flops int64) float64 {
+	return e.ComputeJPerGFLOP * float64(flops) / 1e9
+}
+
+// TxJ returns the radio energy for an uplink of the given airtime.
+func (e EnergyModel) TxJ(airtime time.Duration) float64 {
+	return e.RadioTxW * airtime.Seconds()
+}
+
+// RxJ returns the radio energy for a downlink of the given airtime.
+func (e EnergyModel) RxJ(airtime time.Duration) float64 {
+	return e.RadioRxW * airtime.Seconds()
+}
+
+// IdleJ returns the baseline energy while waiting the given time.
+func (e EnergyModel) IdleJ(wait time.Duration) float64 {
+	return e.IdleW * wait.Seconds()
+}
+
+// InferenceEnergy is one recognition's device-side energy breakdown.
+type InferenceEnergy struct {
+	ComputeJ float64
+	RadioJ   float64
+	IdleJ    float64
+}
+
+// TotalJ sums the components.
+func (ie InferenceEnergy) TotalJ() float64 { return ie.ComputeJ + ie.RadioJ + ie.IdleJ }

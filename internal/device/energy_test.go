@@ -1,0 +1,38 @@
+package device
+
+import (
+	"math"
+	"testing"
+	"time"
+)
+
+func TestEnergyComponents(t *testing.T) {
+	em := EnergyModel{ComputeJPerGFLOP: 2, RadioTxW: 3, RadioRxW: 1, IdleW: 0.5}
+	if got := em.ComputeJ(5e8); math.Abs(got-1) > 1e-9 {
+		t.Fatalf("ComputeJ = %v, want 1", got)
+	}
+	if got := em.TxJ(2 * time.Second); math.Abs(got-6) > 1e-9 {
+		t.Fatalf("TxJ = %v, want 6", got)
+	}
+	if got := em.RxJ(time.Second); math.Abs(got-1) > 1e-9 {
+		t.Fatalf("RxJ = %v, want 1", got)
+	}
+	if got := em.IdleJ(4 * time.Second); math.Abs(got-2) > 1e-9 {
+		t.Fatalf("IdleJ = %v, want 2", got)
+	}
+	ie := InferenceEnergy{ComputeJ: 1, RadioJ: 2, IdleJ: 0.5}
+	if ie.TotalJ() != 3.5 {
+		t.Fatalf("TotalJ = %v", ie.TotalJ())
+	}
+}
+
+func TestMobileEnergyPlausible(t *testing.T) {
+	em := MobileEnergy()
+	if em.ComputeJPerGFLOP <= 0 || em.RadioTxW <= em.RadioRxW/10 || em.IdleW <= 0 {
+		t.Fatalf("implausible defaults: %+v", em)
+	}
+	// Transmitting is more expensive than receiving on cellular radios.
+	if em.RadioTxW <= em.RadioRxW {
+		t.Fatal("TX power must exceed RX power")
+	}
+}

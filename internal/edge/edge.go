@@ -1,0 +1,310 @@
+// Package edge implements the paper's edge server: it hosts trained
+// composite models, serves browser bundles (shared prefix + packed binary
+// branch) to web clients, and executes the rest of the main branch on
+// intermediate tensors received from clients whose binary branch was not
+// confident (Algorithm 2, server side).
+package edge
+
+import (
+	"encoding/json"
+	"fmt"
+	"log"
+	"net/http"
+	"strings"
+	"sync"
+	"time"
+
+	"lcrs/internal/collab"
+	"lcrs/internal/modelio"
+	"lcrs/internal/models"
+	"lcrs/internal/tensor"
+)
+
+// InferResponse is the JSON reply to an inference request.
+type InferResponse struct {
+	// Model echoes the model name.
+	Model string `json:"model"`
+	// Pred is the predicted class index of the first sample.
+	Pred int `json:"pred"`
+	// Preds holds per-sample predictions when the request carried a batch.
+	Preds []int `json:"preds,omitempty"`
+	// Probs holds the softmax distribution of the first sample.
+	Probs []float32 `json:"probs"`
+	// ServerMicros is the measured server-side compute time.
+	ServerMicros int64 `json:"server_micros"`
+}
+
+// ModelInfo describes one hosted model in the listing endpoint.
+type ModelInfo struct {
+	Name        string `json:"name"`
+	Arch        string `json:"arch"`
+	Classes     int    `json:"classes"`
+	BundleBytes int    `json:"bundle_bytes"`
+	InC         int    `json:"in_c"`
+	InH         int    `json:"in_h"`
+	InW         int    `json:"in_w"`
+}
+
+type entry struct {
+	model  *models.Composite
+	bundle []byte
+	// mu serializes inference on this model. Evaluation-mode forward is
+	// read-only for all layers, but serializing per model keeps memory
+	// bounded under concurrent load and makes latency attribution clean.
+	mu sync.Mutex
+
+	stats modelStats
+}
+
+// modelStats tracks per-model serving counters; all fields are guarded by
+// the owning entry's mu.
+type modelStats struct {
+	InferRequests   int64
+	InferErrors     int64
+	BundleDownloads int64
+	ComputeMicros   int64
+}
+
+// ModelStats is the JSON form of one model's serving counters.
+type ModelStats struct {
+	Name            string `json:"name"`
+	InferRequests   int64  `json:"infer_requests"`
+	InferErrors     int64  `json:"infer_errors"`
+	BundleDownloads int64  `json:"bundle_downloads"`
+	// AvgComputeMicros is the mean server-side compute per successful
+	// inference.
+	AvgComputeMicros int64 `json:"avg_compute_micros"`
+}
+
+// Server hosts models behind an http.Handler.
+type Server struct {
+	mu      sync.RWMutex
+	entries map[string]*entry
+	logger  *log.Logger
+}
+
+// NewServer creates an empty edge server.
+func NewServer() *Server { return &Server{entries: map[string]*entry{}} }
+
+// SetLogger enables per-request logging (method, path, status, duration).
+// Pass nil to disable. Set before serving; not synchronized with requests.
+func (s *Server) SetLogger(l *log.Logger) { s.logger = l }
+
+// Register adds a trained model under the given name, precomputing its
+// browser bundle. Registering the same name twice replaces the model.
+func (s *Server) Register(name string, m *models.Composite) error {
+	if name == "" || strings.ContainsAny(name, "/ ") {
+		return fmt.Errorf("edge: invalid model name %q", name)
+	}
+	bundle, err := modelio.EncodeBrowserBundle(m)
+	if err != nil {
+		return fmt.Errorf("edge: bundle %s: %w", name, err)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.entries[name] = &entry{model: m, bundle: bundle}
+	return nil
+}
+
+// Models lists hosted models sorted by registration map order.
+func (s *Server) Models() []ModelInfo {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	var out []ModelInfo
+	for name, e := range s.entries {
+		out = append(out, ModelInfo{
+			Name: name, Arch: e.model.Name, Classes: e.model.Cfg.Classes,
+			BundleBytes: len(e.bundle),
+			InC:         e.model.Cfg.InC, InH: e.model.Cfg.InH, InW: e.model.Cfg.InW,
+		})
+	}
+	return out
+}
+
+func (s *Server) lookup(name string) (*entry, bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	e, ok := s.entries[name]
+	return e, ok
+}
+
+// Stats snapshots per-model serving counters.
+func (s *Server) Stats() []ModelStats {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	var out []ModelStats
+	for name, e := range s.entries {
+		e.mu.Lock()
+		st := ModelStats{
+			Name:            name,
+			InferRequests:   e.stats.InferRequests,
+			InferErrors:     e.stats.InferErrors,
+			BundleDownloads: e.stats.BundleDownloads,
+		}
+		if ok := e.stats.InferRequests - e.stats.InferErrors; ok > 0 {
+			st.AvgComputeMicros = e.stats.ComputeMicros / ok
+		}
+		e.mu.Unlock()
+		out = append(out, st)
+	}
+	return out
+}
+
+// Handler returns the HTTP API:
+//
+//	GET  /v1/healthz         liveness probe
+//	GET  /v1/models          JSON list of hosted models
+//	GET  /v1/bundle/{name}   browser bundle for a model
+//	POST /v1/infer/{name}    tensor frame in, InferResponse out
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/v1/healthz", func(w http.ResponseWriter, r *http.Request) {
+		fmt.Fprintln(w, "ok")
+	})
+	mux.HandleFunc("/v1/models", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, s.Models())
+	})
+	mux.HandleFunc("/v1/stats", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, s.Stats())
+	})
+	mux.HandleFunc("/v1/bundle/", func(w http.ResponseWriter, r *http.Request) {
+		name := strings.TrimPrefix(r.URL.Path, "/v1/bundle/")
+		e, ok := s.lookup(name)
+		if !ok {
+			http.Error(w, fmt.Sprintf("unknown model %q", name), http.StatusNotFound)
+			return
+		}
+		e.mu.Lock()
+		e.stats.BundleDownloads++
+		e.mu.Unlock()
+		w.Header().Set("Content-Type", "application/octet-stream")
+		w.Header().Set("Content-Length", fmt.Sprint(len(e.bundle)))
+		w.Write(e.bundle)
+	})
+	mux.HandleFunc("/v1/infer/", func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodPost {
+			http.Error(w, "POST required", http.StatusMethodNotAllowed)
+			return
+		}
+		name := strings.TrimPrefix(r.URL.Path, "/v1/infer/")
+		e, ok := s.lookup(name)
+		if !ok {
+			http.Error(w, fmt.Sprintf("unknown model %q", name), http.StatusNotFound)
+			return
+		}
+		t, err := collab.ReadTensor(r.Body)
+		if err != nil {
+			e.mu.Lock()
+			e.stats.InferRequests++
+			e.stats.InferErrors++
+			e.mu.Unlock()
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		resp, err := inferOn(name, e, t)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		writeJSON(w, http.StatusOK, resp)
+	})
+	if s.logger != nil {
+		return logRequests(s.logger, mux)
+	}
+	return mux
+}
+
+// statusRecorder captures the response status for request logging.
+type statusRecorder struct {
+	http.ResponseWriter
+	status int
+}
+
+func (r *statusRecorder) WriteHeader(code int) {
+	r.status = code
+	r.ResponseWriter.WriteHeader(code)
+}
+
+// logRequests wraps h with one log line per request.
+func logRequests(l *log.Logger, h http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		rec := &statusRecorder{ResponseWriter: w, status: http.StatusOK}
+		start := time.Now()
+		h.ServeHTTP(rec, r)
+		l.Printf("%s %s %d %v", r.Method, r.URL.Path, rec.status, time.Since(start).Round(time.Microsecond))
+	})
+}
+
+// maxInferBatch bounds a single request's batch so one client cannot pin
+// the model lock arbitrarily long.
+const maxInferBatch = 256
+
+// inferOn runs the main-branch rest on an intermediate tensor. The tensor
+// may be a single CHW sample or a batch (the web client coalesces all
+// non-confident samples of a frame batch into one request).
+func inferOn(name string, e *entry, t *tensor.Tensor) (InferResponse, error) {
+	m := e.model
+	want := m.SharedOutShape()
+	shapeOK := true
+	switch {
+	case t.Rank() == len(want):
+		t = t.Reshape(append([]int{1}, t.Shape...)...)
+	case t.Rank() == len(want)+1 && t.Dim(0) >= 1 && t.Dim(0) <= maxInferBatch:
+		// already batched
+	default:
+		shapeOK = false
+	}
+	if shapeOK {
+		for i, d := range want {
+			if t.Dim(i+1) != d {
+				shapeOK = false
+				break
+			}
+		}
+	}
+	if !shapeOK {
+		e.mu.Lock()
+		e.stats.InferRequests++
+		e.stats.InferErrors++
+		e.mu.Unlock()
+		return InferResponse{}, fmt.Errorf("edge: tensor shape %v does not match intermediate shape %v (batch <= %d)",
+			t.Shape, want, maxInferBatch)
+	}
+
+	e.mu.Lock()
+	start := time.Now()
+	logits := m.ForwardMainRest(t, false)
+	elapsed := time.Since(start)
+	e.stats.InferRequests++
+	e.stats.ComputeMicros += elapsed.Microseconds()
+	e.mu.Unlock()
+
+	probs := tensor.Softmax(logits)
+	preds := make([]int, logits.Dim(0))
+	for i := range preds {
+		row := logits.Row(i)
+		best, bi := row[0], 0
+		for j, v := range row[1:] {
+			if v > best {
+				best, bi = v, j+1
+			}
+		}
+		preds[i] = bi
+	}
+	return InferResponse{
+		Model:        name,
+		Pred:         preds[0],
+		Preds:        preds,
+		Probs:        append([]float32(nil), probs.Row(0)...),
+		ServerMicros: elapsed.Microseconds(),
+	}, nil
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	if err := json.NewEncoder(w).Encode(v); err != nil {
+		// Too late for an error status; nothing useful to do.
+		_ = err
+	}
+}

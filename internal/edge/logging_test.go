@@ -1,0 +1,59 @@
+package edge
+
+import (
+	"log"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+func TestRequestLogging(t *testing.T) {
+	s := NewServer()
+	m := testModel(t)
+	if err := s.Register("demo", m); err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	s.SetLogger(log.New(&sb, "", 0))
+	srv := httptest.NewServer(s.Handler())
+	defer srv.Close()
+
+	resp, err := http.Get(srv.URL + "/v1/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	resp, err = http.Get(srv.URL + "/v1/bundle/missing")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+
+	out := sb.String()
+	if !strings.Contains(out, "GET /v1/healthz 200") {
+		t.Fatalf("missing success log line:\n%s", out)
+	}
+	if !strings.Contains(out, "GET /v1/bundle/missing 404") {
+		t.Fatalf("missing error status log line:\n%s", out)
+	}
+}
+
+func TestRegisterReplacesModel(t *testing.T) {
+	s := NewServer()
+	m := testModel(t)
+	if err := s.Register("demo", m); err != nil {
+		t.Fatal(err)
+	}
+	before := s.Models()[0].BundleBytes
+	if err := s.Register("demo", m); err != nil {
+		t.Fatal(err)
+	}
+	infos := s.Models()
+	if len(infos) != 1 {
+		t.Fatalf("re-register duplicated the entry: %+v", infos)
+	}
+	if infos[0].BundleBytes != before {
+		t.Fatal("same model must produce the same bundle")
+	}
+}

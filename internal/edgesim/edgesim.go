@@ -1,0 +1,145 @@
+// Package edgesim is a discrete-event simulator for an edge server shared
+// by many concurrent Web AR clients. The paper's introduction motivates
+// LCRS with exactly this scenario: offloading every recognition to the edge
+// ("edge-only") melts the server under concurrency, while LCRS's binary
+// branch absorbs most requests on the browsers and ships only the
+// low-confidence remainder. The simulator quantifies that: a single-queue
+// FIFO server with deterministic per-request service time, Poisson request
+// arrivals per client, and seeded randomness for reproducibility.
+package edgesim
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+	"sort"
+	"time"
+
+	"lcrs/internal/tensor"
+)
+
+// Workload describes one simulated scenario.
+type Workload struct {
+	// Clients is the number of concurrent AR sessions.
+	Clients int
+	// RequestRate is each client's recognition attempts per second.
+	RequestRate float64
+	// OffloadFraction is the share of attempts that reach the edge
+	// (1 for edge-only; 1-exitRate for LCRS).
+	OffloadFraction float64
+	// ServiceTime is the server compute per offloaded request.
+	ServiceTime time.Duration
+	// Duration is the simulated wall-clock span.
+	Duration time.Duration
+	// Seed drives arrival randomness.
+	Seed int64
+}
+
+// Validate reports nonsensical workloads.
+func (w Workload) Validate() error {
+	if w.Clients <= 0 {
+		return fmt.Errorf("edgesim: clients must be positive, got %d", w.Clients)
+	}
+	if w.RequestRate <= 0 {
+		return fmt.Errorf("edgesim: request rate must be positive, got %v", w.RequestRate)
+	}
+	if w.OffloadFraction < 0 || w.OffloadFraction > 1 {
+		return fmt.Errorf("edgesim: offload fraction %v out of [0,1]", w.OffloadFraction)
+	}
+	if w.ServiceTime <= 0 {
+		return fmt.Errorf("edgesim: service time must be positive, got %v", w.ServiceTime)
+	}
+	if w.Duration <= 0 {
+		return fmt.Errorf("edgesim: duration must be positive, got %v", w.Duration)
+	}
+	return nil
+}
+
+// Result summarizes a simulated run.
+type Result struct {
+	// Served is the number of requests that completed.
+	Served int
+	// Utilization is the busy fraction of the server.
+	Utilization float64
+	// MeanWait and P95Wait are queueing delays (excluding service).
+	MeanWait, P95Wait time.Duration
+	// MeanSojourn is queueing plus service.
+	MeanSojourn time.Duration
+	// OfferedLoad is arrival rate x service time — above 1 the queue is
+	// unstable and waits grow with the simulated duration.
+	OfferedLoad float64
+}
+
+// arrivalHeap orders event times.
+type arrivalHeap []float64
+
+func (h arrivalHeap) Len() int           { return len(h) }
+func (h arrivalHeap) Less(i, j int) bool { return h[i] < h[j] }
+func (h arrivalHeap) Swap(i, j int)      { h[i], h[j] = h[j], h[i] }
+func (h *arrivalHeap) Push(x any)        { *h = append(*h, x.(float64)) }
+func (h *arrivalHeap) Pop() any          { old := *h; n := len(old); x := old[n-1]; *h = old[:n-1]; return x }
+
+// Run simulates the workload and returns aggregate statistics.
+func Run(w Workload) (Result, error) {
+	if err := w.Validate(); err != nil {
+		return Result{}, err
+	}
+	g := tensor.NewRNG(w.Seed)
+	horizon := w.Duration.Seconds()
+	lambda := w.RequestRate * w.OffloadFraction // per client, offloaded only
+
+	// Generate each client's Poisson arrivals into one time-ordered heap.
+	h := &arrivalHeap{}
+	if lambda > 0 {
+		for c := 0; c < w.Clients; c++ {
+			t := 0.0
+			for {
+				t += expSample(g, lambda)
+				if t > horizon {
+					break
+				}
+				heap.Push(h, t)
+			}
+		}
+	}
+
+	service := w.ServiceTime.Seconds()
+	var busyUntil, busyTotal float64
+	var waits []float64
+	for h.Len() > 0 {
+		at := heap.Pop(h).(float64)
+		start := math.Max(at, busyUntil)
+		waits = append(waits, start-at)
+		busyUntil = start + service
+		busyTotal += service
+	}
+
+	res := Result{
+		Served:      len(waits),
+		OfferedLoad: float64(w.Clients) * lambda * service,
+	}
+	if len(waits) == 0 {
+		return res, nil
+	}
+	span := math.Max(horizon, busyUntil)
+	res.Utilization = busyTotal / span
+	sort.Float64s(waits)
+	var sum float64
+	for _, v := range waits {
+		sum += v
+	}
+	mean := sum / float64(len(waits))
+	res.MeanWait = time.Duration(mean * float64(time.Second))
+	res.P95Wait = time.Duration(waits[(len(waits)*95)/100] * float64(time.Second))
+	res.MeanSojourn = res.MeanWait + w.ServiceTime
+	return res, nil
+}
+
+// expSample draws an exponential inter-arrival time with rate lambda.
+func expSample(g *tensor.RNG, lambda float64) float64 {
+	u := g.Float64()
+	for u == 0 {
+		u = g.Float64()
+	}
+	return -math.Log(u) / lambda
+}

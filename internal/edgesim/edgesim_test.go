@@ -1,0 +1,144 @@
+package edgesim
+
+import (
+	"math"
+	"testing"
+	"time"
+)
+
+func baseWorkload() Workload {
+	return Workload{
+		Clients:         10,
+		RequestRate:     1,
+		OffloadFraction: 1,
+		ServiceTime:     20 * time.Millisecond,
+		Duration:        60 * time.Second,
+		Seed:            1,
+	}
+}
+
+func TestValidate(t *testing.T) {
+	bad := []func(*Workload){
+		func(w *Workload) { w.Clients = 0 },
+		func(w *Workload) { w.RequestRate = 0 },
+		func(w *Workload) { w.OffloadFraction = -0.1 },
+		func(w *Workload) { w.OffloadFraction = 1.1 },
+		func(w *Workload) { w.ServiceTime = 0 },
+		func(w *Workload) { w.Duration = 0 },
+	}
+	for i, mutate := range bad {
+		w := baseWorkload()
+		mutate(&w)
+		if _, err := Run(w); err == nil {
+			t.Errorf("case %d: invalid workload accepted", i)
+		}
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	a, err := Run(baseWorkload())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(baseWorkload())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Fatalf("same seed produced different results: %+v vs %+v", a, b)
+	}
+}
+
+func TestZeroOffloadServesNothing(t *testing.T) {
+	w := baseWorkload()
+	w.OffloadFraction = 0
+	res, err := Run(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Served != 0 || res.Utilization != 0 {
+		t.Fatalf("zero offload must idle the server: %+v", res)
+	}
+}
+
+func TestThroughputMatchesArrivalRate(t *testing.T) {
+	w := baseWorkload() // offered load 10*1*0.02 = 0.2, stable
+	res, err := Run(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// About Clients * rate * duration arrivals.
+	want := float64(w.Clients) * w.RequestRate * w.Duration.Seconds()
+	if math.Abs(float64(res.Served)-want)/want > 0.15 {
+		t.Fatalf("served %d, want about %.0f", res.Served, want)
+	}
+	if math.Abs(res.OfferedLoad-0.2) > 1e-9 {
+		t.Fatalf("offered load %v, want 0.2", res.OfferedLoad)
+	}
+	if math.Abs(res.Utilization-0.2) > 0.05 {
+		t.Fatalf("utilization %v, want about 0.2", res.Utilization)
+	}
+}
+
+// M/D/1 sanity: for offered load rho, mean wait = rho*s / (2(1-rho)).
+func TestMeanWaitNearMD1(t *testing.T) {
+	w := baseWorkload()
+	w.Clients = 25 // rho = 0.5
+	res, err := Run(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rho := res.OfferedLoad
+	s := w.ServiceTime.Seconds()
+	want := rho * s / (2 * (1 - rho))
+	got := res.MeanWait.Seconds()
+	if math.Abs(got-want)/want > 0.35 {
+		t.Fatalf("mean wait %.4fs, M/D/1 predicts %.4fs", got, want)
+	}
+}
+
+// The motivating claim: LCRS's offload fraction keeps the edge stable where
+// edge-only saturates.
+func TestLCRSKeepsServerStableUnderLoadWhereEdgeOnlySaturates(t *testing.T) {
+	edgeOnly := baseWorkload()
+	edgeOnly.Clients = 60 // offered load 1.2: unstable
+	lcrs := edgeOnly
+	lcrs.OffloadFraction = 0.2 // 80% exit at the binary branch
+
+	eo, err := Run(edgeOnly)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lc, err := Run(lcrs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if eo.OfferedLoad <= 1 {
+		t.Fatalf("edge-only offered load %v should exceed 1", eo.OfferedLoad)
+	}
+	if lc.OfferedLoad >= 0.5 {
+		t.Fatalf("lcrs offered load %v should be far below 1", lc.OfferedLoad)
+	}
+	if lc.P95Wait >= eo.P95Wait/10 {
+		t.Fatalf("lcrs p95 wait %v not dramatically below edge-only %v", lc.P95Wait, eo.P95Wait)
+	}
+	if eo.MeanWait < 500*time.Millisecond {
+		t.Fatalf("saturated edge-only mean wait %v implausibly low", eo.MeanWait)
+	}
+}
+
+func TestWaitGrowsWithLoad(t *testing.T) {
+	var prev time.Duration
+	for i, clients := range []int{10, 30, 45} {
+		w := baseWorkload()
+		w.Clients = clients
+		res, err := Run(w)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if i > 0 && res.MeanWait <= prev {
+			t.Fatalf("mean wait did not grow with load: %v after %v", res.MeanWait, prev)
+		}
+		prev = res.MeanWait
+	}
+}

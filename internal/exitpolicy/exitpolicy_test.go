@@ -1,0 +1,164 @@
+package exitpolicy
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestNormalizedEntropyBounds(t *testing.T) {
+	uniform := []float32{0.25, 0.25, 0.25, 0.25}
+	if s := NormalizedEntropy(uniform); math.Abs(s-1) > 1e-6 {
+		t.Fatalf("uniform entropy = %v, want 1", s)
+	}
+	onehot := []float32{1, 0, 0, 0}
+	if s := NormalizedEntropy(onehot); s != 0 {
+		t.Fatalf("one-hot entropy = %v, want 0", s)
+	}
+	mid := []float32{0.7, 0.1, 0.1, 0.1}
+	if s := NormalizedEntropy(mid); s <= 0 || s >= 1 {
+		t.Fatalf("entropy %v out of (0,1)", s)
+	}
+}
+
+func TestNormalizedEntropyPanicsOnSingleClass(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("single-class entropy did not panic")
+		}
+	}()
+	NormalizedEntropy([]float32{1})
+}
+
+// Property: entropy is within [0,1] for any normalized distribution and is
+// maximal for the uniform one.
+func TestNormalizedEntropyPropertyQuick(t *testing.T) {
+	f := func(raw []uint16) bool {
+		if len(raw) < 2 {
+			return true
+		}
+		if len(raw) > 32 {
+			raw = raw[:32]
+		}
+		var sum float64
+		ps := make([]float32, len(raw))
+		for i, r := range raw {
+			ps[i] = float32(r) + 1 // strictly positive
+			sum += float64(ps[i])
+		}
+		for i := range ps {
+			ps[i] = float32(float64(ps[i]) / sum)
+		}
+		s := NormalizedEntropy(ps)
+		return s >= 0 && s <= 1+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestShouldExit(t *testing.T) {
+	if !ShouldExit(0.01, 0.05) {
+		t.Fatal("low entropy must exit")
+	}
+	if ShouldExit(0.05, 0.05) {
+		t.Fatal("exit must be strict (e < tau)")
+	}
+}
+
+func TestEvaluate(t *testing.T) {
+	entropies := []float64{0.01, 0.02, 0.5, 0.9}
+	binC := []bool{true, false, true, false}
+	mainC := []bool{true, true, true, true}
+	st := Evaluate(0.1, entropies, binC, mainC)
+	if st.ExitRate != 0.5 {
+		t.Fatalf("ExitRate = %v, want 0.5", st.ExitRate)
+	}
+	if st.ExitAccuracy != 0.5 {
+		t.Fatalf("ExitAccuracy = %v, want 0.5", st.ExitAccuracy)
+	}
+	// Combined: samples 0 (binary right), 1 (binary wrong), 2,3 (main right).
+	if st.CombinedAccuracy != 0.75 {
+		t.Fatalf("CombinedAccuracy = %v, want 0.75", st.CombinedAccuracy)
+	}
+}
+
+func TestEvaluateNoExits(t *testing.T) {
+	st := Evaluate(0.0001, []float64{0.5, 0.6}, []bool{false, false}, []bool{true, true})
+	if st.ExitRate != 0 || st.ExitAccuracy != 1 || st.CombinedAccuracy != 1 {
+		t.Fatalf("no-exit stats wrong: %+v", st)
+	}
+}
+
+func TestScreenForExitRate(t *testing.T) {
+	entropies := []float64{0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9, 1.0}
+	tau := ScreenForExitRate(entropies, 0.3)
+	exited := 0
+	for _, e := range entropies {
+		if ShouldExit(e, tau) {
+			exited++
+		}
+	}
+	if exited != 3 {
+		t.Fatalf("tau=%v exits %d of 10, want 3", tau, exited)
+	}
+	// Full exit.
+	tau = ScreenForExitRate(entropies, 1)
+	for _, e := range entropies {
+		if !ShouldExit(e, tau) {
+			t.Fatal("target rate 1 must exit everything")
+		}
+	}
+}
+
+func TestScreenPrefersHighestExitRateMeetingConstraint(t *testing.T) {
+	// Entropies correlate with correctness: low-entropy samples right.
+	entropies := []float64{0.01, 0.02, 0.03, 0.4, 0.5, 0.6}
+	binC := []bool{true, true, true, false, false, false}
+	mainC := []bool{true, true, true, true, true, true}
+	tau, st := Screen(entropies, binC, mainC, 0.99)
+	if st.ExitRate != 0.5 {
+		t.Fatalf("tau=%v st=%+v: want the three confident samples to exit", tau, st)
+	}
+	if st.CombinedAccuracy != 1 {
+		t.Fatalf("CombinedAccuracy = %v, want 1", st.CombinedAccuracy)
+	}
+	// With a lax constraint, everything exits.
+	_, st = Screen(entropies, binC, mainC, 0.4)
+	if st.ExitRate != 1 {
+		t.Fatalf("lax screening exit rate = %v, want 1", st.ExitRate)
+	}
+}
+
+func TestScreenAccuracyPreserving(t *testing.T) {
+	// Main is perfect; binary is right only on its confident half. The
+	// preserved-accuracy threshold must exit exactly that half.
+	entropies := []float64{0.01, 0.02, 0.03, 0.4, 0.5, 0.6}
+	binC := []bool{true, true, true, false, false, true}
+	mainC := []bool{true, true, true, true, true, true}
+	_, st := ScreenAccuracyPreserving(entropies, binC, mainC)
+	if st.ExitRate != 0.5 {
+		t.Fatalf("exit rate %v, want 0.5: %+v", st.ExitRate, st)
+	}
+	if st.CombinedAccuracy != 1 {
+		t.Fatalf("combined accuracy %v, want 1", st.CombinedAccuracy)
+	}
+
+	// When the binary branch dominates, everything may exit.
+	binAll := []bool{true, true, true, true, true, true}
+	mainWeak := []bool{true, false, true, false, true, false}
+	_, st = ScreenAccuracyPreserving(entropies, binAll, mainWeak)
+	if st.ExitRate != 1 {
+		t.Fatalf("dominant binary should exit all, got %v", st.ExitRate)
+	}
+}
+
+func TestScreenImpossibleConstraintExitsNothing(t *testing.T) {
+	entropies := []float64{0.1, 0.2}
+	binC := []bool{false, false}
+	mainC := []bool{true, true}
+	_, st := Screen(entropies, binC, mainC, 0.9)
+	if st.ExitRate != 0 {
+		t.Fatalf("impossible constraint should exit nothing, got rate %v", st.ExitRate)
+	}
+}

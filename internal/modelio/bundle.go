@@ -1,0 +1,217 @@
+package modelio
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"io"
+
+	binlayer "lcrs/internal/binary"
+	"lcrs/internal/models"
+	"lcrs/internal/nn"
+	"lcrs/internal/tensor"
+)
+
+// EncodeBrowserBundle serializes what the mobile web browser must download
+// to run the binary branch: the shared prefix in float32 and the binary
+// branch with binary layers bit-packed (sign bits + per-filter alpha +
+// float bias). The encoded length is the Table III model-loading payload.
+func EncodeBrowserBundle(m *models.Composite) ([]byte, error) {
+	var buf bytes.Buffer
+	bw := bufio.NewWriter(&buf)
+
+	var sections []func(io.Writer) error
+	for _, s := range stateTensors("shared.", m.Shared) {
+		s := s
+		sections = append(sections, func(w io.Writer) error { return writeFloatSection(w, s.name, s.t) })
+	}
+	var walkErr error
+	nn.Walk(m.Binary, func(layer nn.Layer) {
+		switch t := layer.(type) {
+		case *nn.Sequential, *nn.Residual:
+		case *binlayer.Conv2D:
+			sections = append(sections, packedSectionWriter("binary."+t.Name(), t.Weight.Value, t.Bias.Value))
+		case *binlayer.Linear:
+			sections = append(sections, packedSectionWriter("binary."+t.Name(), t.Weight.Value, t.Bias.Value))
+		case *nn.BatchNorm:
+			for _, p := range t.Params() {
+				p := p
+				sections = append(sections, func(w io.Writer) error {
+					return writeFloatSection(w, "binary."+p.Name, p.Value)
+				})
+			}
+			rm, rv := t.RunningMean, t.RunningVar
+			name := t.Name()
+			sections = append(sections, func(w io.Writer) error {
+				return writeFloatSection(w, "binary."+name+".running_mean", rm)
+			})
+			sections = append(sections, func(w io.Writer) error {
+				return writeFloatSection(w, "binary."+name+".running_var", rv)
+			})
+		default:
+			for _, p := range layer.Params() {
+				p := p
+				sections = append(sections, func(w io.Writer) error {
+					return writeFloatSection(w, "binary."+p.Name, p.Value)
+				})
+			}
+		}
+	})
+	if walkErr != nil {
+		return nil, walkErr
+	}
+
+	if err := writeHeader(bw, uint32(len(sections))); err != nil {
+		return nil, err
+	}
+	for _, fn := range sections {
+		if err := fn(bw); err != nil {
+			return nil, fmt.Errorf("modelio: encode bundle: %w", err)
+		}
+	}
+	if err := bw.Flush(); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+// packedSectionWriter serializes a binary layer's weights as sign bits with
+// per-output-filter alphas plus the float bias.
+func packedSectionWriter(name string, weight, bias *tensor.Tensor) func(io.Writer) error {
+	return func(w io.Writer) error {
+		outC := weight.Dim(0)
+		k := weight.Len() / outC
+		if _, err := w.Write([]byte{kindPacked}); err != nil {
+			return err
+		}
+		if err := writeName(w, name); err != nil {
+			return err
+		}
+		for _, v := range []uint32{uint32(outC), uint32(k)} {
+			if err := binary.Write(w, binary.LittleEndian, v); err != nil {
+				return err
+			}
+		}
+		alphas := binlayer.FilterAlphas(weight)
+		if err := binary.Write(w, binary.LittleEndian, alphas); err != nil {
+			return err
+		}
+		if err := binary.Write(w, binary.LittleEndian, bias.Data); err != nil {
+			return err
+		}
+		pm := binlayer.NewPackedMatrix(outC, k)
+		w2d := weight.Reshape(outC, k)
+		for o := 0; o < outC; o++ {
+			pm.PackRow(o, w2d.Row(o))
+		}
+		return binary.Write(w, binary.LittleEndian, pm.Words)
+	}
+}
+
+// DecodeBrowserBundle restores a bundle into a freshly built model of the
+// same architecture and configuration. Binary-layer shadow weights are
+// restored as +-alpha, which reproduces the original inference exactly
+// (sign and recomputed alpha are both preserved).
+func DecodeBrowserBundle(data []byte, m *models.Composite) error {
+	br := bufio.NewReader(bytes.NewReader(data))
+	sections, err := readHeader(br)
+	if err != nil {
+		return err
+	}
+
+	floatByName := map[string]*tensor.Tensor{}
+	for _, s := range stateTensors("shared.", m.Shared) {
+		floatByName[s.name] = s.t
+	}
+	packedByName := map[string][2]*tensor.Tensor{} // weight, bias
+	nn.Walk(m.Binary, func(layer nn.Layer) {
+		switch t := layer.(type) {
+		case *nn.Sequential, *nn.Residual:
+		case *binlayer.Conv2D:
+			packedByName["binary."+t.Name()] = [2]*tensor.Tensor{t.Weight.Value, t.Bias.Value}
+		case *binlayer.Linear:
+			packedByName["binary."+t.Name()] = [2]*tensor.Tensor{t.Weight.Value, t.Bias.Value}
+		case *nn.BatchNorm:
+			for _, p := range t.Params() {
+				floatByName["binary."+p.Name] = p.Value
+			}
+			floatByName["binary."+t.Name()+".running_mean"] = t.RunningMean
+			floatByName["binary."+t.Name()+".running_var"] = t.RunningVar
+		default:
+			for _, p := range layer.Params() {
+				floatByName["binary."+p.Name] = p.Value
+			}
+		}
+	})
+
+	for i := uint32(0); i < sections; i++ {
+		var kind [1]byte
+		if _, err := io.ReadFull(br, kind[:]); err != nil {
+			return fmt.Errorf("modelio: bundle section kind: %w", err)
+		}
+		name, err := readName(br)
+		if err != nil {
+			return fmt.Errorf("modelio: bundle section name: %w", err)
+		}
+		switch kind[0] {
+		case kindFloat:
+			var n uint32
+			if err := binary.Read(br, binary.LittleEndian, &n); err != nil {
+				return fmt.Errorf("modelio: bundle %s length: %w", name, err)
+			}
+			dst, ok := floatByName[name]
+			if !ok {
+				return fmt.Errorf("modelio: bundle float tensor %q not in model", name)
+			}
+			if int(n) != dst.Len() {
+				return fmt.Errorf("modelio: bundle tensor %q has %d values, model wants %d", name, n, dst.Len())
+			}
+			if err := binary.Read(br, binary.LittleEndian, dst.Data); err != nil {
+				return fmt.Errorf("modelio: bundle %s data: %w", name, err)
+			}
+		case kindPacked:
+			var outC, k uint32
+			if err := binary.Read(br, binary.LittleEndian, &outC); err != nil {
+				return err
+			}
+			if err := binary.Read(br, binary.LittleEndian, &k); err != nil {
+				return err
+			}
+			wb, ok := packedByName[name]
+			if !ok {
+				return fmt.Errorf("modelio: bundle packed tensor %q not in model", name)
+			}
+			weight, biasT := wb[0], wb[1]
+			if weight.Dim(0) != int(outC) || weight.Len() != int(outC)*int(k) {
+				return fmt.Errorf("modelio: packed %q is %dx%d, model weight is %v", name, outC, k, weight.Shape)
+			}
+			alphas := make([]float32, outC)
+			if err := binary.Read(br, binary.LittleEndian, alphas); err != nil {
+				return err
+			}
+			if err := binary.Read(br, binary.LittleEndian, biasT.Data); err != nil {
+				return err
+			}
+			words := make([]uint64, int(outC)*((int(k)+63)/64))
+			if err := binary.Read(br, binary.LittleEndian, words); err != nil {
+				return err
+			}
+			wordsPerRow := (int(k) + 63) / 64
+			for o := 0; o < int(outC); o++ {
+				row := words[o*wordsPerRow : (o+1)*wordsPerRow]
+				dst := weight.Data[o*int(k) : (o+1)*int(k)]
+				for j := range dst {
+					if row[j/64]&(1<<uint(j%64)) != 0 {
+						dst[j] = alphas[o]
+					} else {
+						dst[j] = -alphas[o]
+					}
+				}
+			}
+		default:
+			return fmt.Errorf("modelio: unknown section kind %d", kind[0])
+		}
+	}
+	return nil
+}

@@ -1,0 +1,65 @@
+package modelio
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"lcrs/internal/models"
+)
+
+// FileHeader makes a checkpoint self-describing: the architecture name and
+// build configuration needed to reconstruct the model before loading
+// weights.
+type FileHeader struct {
+	Arch   string        `json:"arch"`
+	Config models.Config `json:"config"`
+	// Tau records the screened exit threshold alongside the weights, so a
+	// serving process needs no side channel.
+	Tau float64 `json:"tau"`
+}
+
+// SaveModelFile writes a self-describing checkpoint: a length-prefixed JSON
+// header followed by the weight sections.
+func SaveModelFile(w io.Writer, hdr FileHeader, m *models.Composite) error {
+	blob, err := json.Marshal(hdr)
+	if err != nil {
+		return fmt.Errorf("modelio: marshal header: %w", err)
+	}
+	if err := binary.Write(w, binary.LittleEndian, uint32(len(blob))); err != nil {
+		return fmt.Errorf("modelio: write header length: %w", err)
+	}
+	if _, err := w.Write(blob); err != nil {
+		return fmt.Errorf("modelio: write header: %w", err)
+	}
+	return SaveComposite(w, m)
+}
+
+// LoadModelFile reads a self-describing checkpoint: it rebuilds the
+// architecture from the header and loads the weights into it.
+func LoadModelFile(r io.Reader) (*models.Composite, FileHeader, error) {
+	var n uint32
+	if err := binary.Read(r, binary.LittleEndian, &n); err != nil {
+		return nil, FileHeader{}, fmt.Errorf("modelio: read header length: %w", err)
+	}
+	if n > 1<<16 {
+		return nil, FileHeader{}, fmt.Errorf("modelio: header of %d bytes implausible", n)
+	}
+	blob := make([]byte, n)
+	if _, err := io.ReadFull(r, blob); err != nil {
+		return nil, FileHeader{}, fmt.Errorf("modelio: read header: %w", err)
+	}
+	var hdr FileHeader
+	if err := json.Unmarshal(blob, &hdr); err != nil {
+		return nil, FileHeader{}, fmt.Errorf("modelio: decode header: %w", err)
+	}
+	m, err := models.Build(hdr.Arch, hdr.Config)
+	if err != nil {
+		return nil, FileHeader{}, fmt.Errorf("modelio: rebuild %s: %w", hdr.Arch, err)
+	}
+	if err := LoadComposite(r, m); err != nil {
+		return nil, FileHeader{}, err
+	}
+	return m, hdr, nil
+}

@@ -1,0 +1,48 @@
+package modelio
+
+import (
+	"bytes"
+	"testing"
+
+	"lcrs/internal/models"
+	"lcrs/internal/tensor"
+)
+
+func TestModelFileRoundTrip(t *testing.T) {
+	cfg := models.Config{Classes: 10, InC: 1, InH: 28, InW: 28, WidthScale: 0.1, Seed: 3}
+	src, err := models.Build("lenet", cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	hdr := FileHeader{Arch: "lenet", Config: cfg, Tau: 0.0123}
+	if err := SaveModelFile(&buf, hdr, src); err != nil {
+		t.Fatal(err)
+	}
+	got, gotHdr, err := LoadModelFile(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gotHdr.Arch != "lenet" || gotHdr.Tau != 0.0123 || gotHdr.Config.Classes != 10 {
+		t.Fatalf("header round trip: %+v", gotHdr)
+	}
+	g := tensor.NewRNG(4)
+	x := g.Uniform(-1, 1, 2, 1, 28, 28)
+	if !tensor.Equal(src.ForwardMain(x, false), got.ForwardMain(x, false), 1e-6) {
+		t.Fatal("weights differ after model-file round trip")
+	}
+}
+
+func TestLoadModelFileRejectsGarbage(t *testing.T) {
+	if _, _, err := LoadModelFile(bytes.NewReader([]byte{1, 2})); err == nil {
+		t.Fatal("truncated header length accepted")
+	}
+	// Implausible header length.
+	if _, _, err := LoadModelFile(bytes.NewReader([]byte{0xFF, 0xFF, 0xFF, 0xFF, 0})); err == nil {
+		t.Fatal("oversized header accepted")
+	}
+	// Valid length, invalid JSON.
+	if _, _, err := LoadModelFile(bytes.NewReader([]byte{3, 0, 0, 0, 'x', 'y', 'z'})); err == nil {
+		t.Fatal("bad JSON header accepted")
+	}
+}

@@ -1,0 +1,62 @@
+package models
+
+import (
+	"fmt"
+
+	"lcrs/internal/binary"
+	"lcrs/internal/nn"
+	"lcrs/internal/tensor"
+)
+
+// BranchShape parameterizes a binary branch structure for the Figure 4
+// design-space exploration: NBinaryConv binary convolutional layers
+// followed by NBinaryFC binary fully connected layers and a float
+// classifier.
+type BranchShape struct {
+	NBinaryConv int
+	NBinaryFC   int
+}
+
+// AlexNetWithBranch builds the AlexNet composite with a custom binary
+// branch structure (Figure 4a sweeps NBinaryConv with one binary FC;
+// Figure 4b sweeps NBinaryFC with one binary conv). The last layer is
+// always a float fully connected layer, as the paper prescribes.
+func AlexNetWithBranch(cfg Config, shape BranchShape) (*Composite, error) {
+	if shape.NBinaryConv < 1 || shape.NBinaryConv > 4 {
+		return nil, fmt.Errorf("models: NBinaryConv %d out of [1,4]", shape.NBinaryConv)
+	}
+	if shape.NBinaryFC < 1 || shape.NBinaryFC > 3 {
+		return nil, fmt.Errorf("models: NBinaryFC %d out of [1,3]", shape.NBinaryFC)
+	}
+	m := AlexNet(cfg)
+	g := tensor.NewRNG(cfg.Seed + 1000)
+
+	// Channel plan mirrors the main branch's conv2..conv5 progression.
+	chans := []int{cfg.scaled(192), cfg.scaled(256), cfg.scaled(256), cfg.scaled(256)}
+	fcH := cfg.scaled(3000)
+
+	bin := newStack("alexnet.binary", m.SharedOutShape())
+	inC := m.SharedOutShape()[0]
+	for i := 0; i < shape.NBinaryConv; i++ {
+		outC := chans[i]
+		bin.add(binary.NewConv2D(fmt.Sprintf("bconv%d", i+1), g, inC, outC, 3, 3, 1, 1))
+		// Pool while the spatial extent allows, mirroring the main branch.
+		if _, h, _ := bin.chw(); h >= 4 {
+			bin.add(nn.NewMaxPool2D(fmt.Sprintf("bpool%d", i+1), 2, 2, 0))
+		}
+		bin.add(nn.NewBatchNorm(fmt.Sprintf("bbn%d", i+1), outC))
+		inC = outC
+	}
+	bin.add(nn.NewFlatten("bflat"))
+	for i := 0; i < shape.NBinaryFC; i++ {
+		bin.add(binary.NewLinear(fmt.Sprintf("bfc%d", i+1), g, bin.features(), fcH)).
+			add(nn.NewBatchNorm(fmt.Sprintf("bbnfc%d", i+1), fcH))
+	}
+	bin.add(nn.NewLinear("bout", g, bin.features(), cfg.Classes))
+
+	m.Binary = bin.seq
+	if err := m.Validate(); err != nil {
+		return nil, err
+	}
+	return m, nil
+}

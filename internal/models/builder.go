@@ -1,0 +1,68 @@
+package models
+
+import (
+	"fmt"
+
+	"lcrs/internal/nn"
+)
+
+// stack builds a Sequential while tracking the current per-sample shape, so
+// flatten sizes and FC widths are derived from the architecture instead of
+// hard-coded.
+type stack struct {
+	seq *nn.Sequential
+	cur []int
+}
+
+func newStack(name string, in []int) *stack {
+	return &stack{seq: nn.NewSequential(name), cur: append([]int(nil), in...)}
+}
+
+func (s *stack) add(l nn.Layer) *stack {
+	s.seq.Append(l)
+	s.cur = l.OutShape(s.cur)
+	return s
+}
+
+// features returns the flattened feature count of the current shape.
+func (s *stack) features() int {
+	n := 1
+	for _, d := range s.cur {
+		n *= d
+	}
+	return n
+}
+
+// chw unpacks the current shape, panicking if it is not CHW.
+func (s *stack) chw() (c, h, w int) {
+	if len(s.cur) != 3 {
+		panic(fmt.Sprintf("models: expected CHW shape, got %v", s.cur))
+	}
+	return s.cur[0], s.cur[1], s.cur[2]
+}
+
+// Build returns a named composite by architecture name: "lenet", "alexnet",
+// "resnet18" or "vgg16".
+func Build(name string, cfg Config) (*Composite, error) {
+	var m *Composite
+	switch name {
+	case "lenet":
+		m = LeNet(cfg)
+	case "alexnet":
+		m = AlexNet(cfg)
+	case "resnet18":
+		m = ResNet18(cfg)
+	case "vgg16":
+		m = VGG16(cfg)
+	default:
+		return nil, fmt.Errorf("models: unknown architecture %q", name)
+	}
+	if err := m.Validate(); err != nil {
+		return nil, err
+	}
+	return m, nil
+}
+
+// Names lists the supported architectures in the order the paper's tables
+// report them.
+func Names() []string { return []string{"lenet", "alexnet", "resnet18", "vgg16"} }

@@ -1,0 +1,197 @@
+// Package models defines the paper's network architectures (LeNet, AlexNet,
+// ResNet18, VGG16 adapted to 28x28 and 32x32 inputs), the builder for binary
+// side branches, and the Composite type that ties a shared first
+// convolutional layer to a full-precision main branch and a binary branch
+// (Figure 2 of the paper).
+package models
+
+import (
+	"fmt"
+
+	"lcrs/internal/binary"
+	"lcrs/internal/nn"
+	"lcrs/internal/tensor"
+)
+
+// Config describes the input domain a network is built for.
+type Config struct {
+	// Classes is the number of output classes.
+	Classes int
+	// InC, InH, InW describe the input sample shape.
+	InC, InH, InW int
+	// WidthScale scales channel and hidden-unit counts. 1.0 builds the
+	// paper-size architecture; smaller values build proportionally narrower
+	// networks that train quickly for tests and CI. Sizes reported in
+	// Table I style experiments always come from WidthScale=1 builds.
+	WidthScale float64
+	// Seed seeds weight initialization.
+	Seed int64
+}
+
+// InShape returns the per-sample input shape.
+func (c Config) InShape() []int { return []int{c.InC, c.InH, c.InW} }
+
+// scaled applies WidthScale to a channel count, with a floor to keep
+// networks functional at tiny scales.
+func (c Config) scaled(ch int) int {
+	s := c.WidthScale
+	if s == 0 {
+		s = 1
+	}
+	n := int(float64(ch) * s)
+	if n < 4 {
+		n = 4
+	}
+	return n
+}
+
+// Composite is the paper's LCRS network: a shared prefix (the first
+// convolutional layer and its activation/pooling), a full-precision main
+// branch that continues from the prefix, and a binary branch that exits
+// early from the same prefix.
+type Composite struct {
+	// Name identifies the architecture ("alexnet", ...).
+	Name string
+	// Shared is the prefix executed on every path (conv1 in the paper).
+	Shared *nn.Sequential
+	// MainRest is the remainder of the main branch, deployed at the edge.
+	MainRest *nn.Sequential
+	// Binary is the side branch, deployed in the mobile web browser. It
+	// mixes binary.Conv2D/binary.Linear layers with float pooling and a
+	// float final classifier, per the paper's structure guidance (IV-D3).
+	Binary *nn.Sequential
+	// Cfg is the configuration the network was built with.
+	Cfg Config
+}
+
+// Validate checks internal shape consistency and returns a descriptive
+// error when branch shapes do not line up.
+func (m *Composite) Validate() error {
+	shared := m.Shared.OutShape(m.Cfg.InShape())
+	mainOut := m.MainRest.OutShape(shared)
+	binOut := m.Binary.OutShape(shared)
+	if len(mainOut) != 1 || mainOut[0] != m.Cfg.Classes {
+		return fmt.Errorf("models: %s main branch outputs %v, want [%d]", m.Name, mainOut, m.Cfg.Classes)
+	}
+	if len(binOut) != 1 || binOut[0] != m.Cfg.Classes {
+		return fmt.Errorf("models: %s binary branch outputs %v, want [%d]", m.Name, binOut, m.Cfg.Classes)
+	}
+	return nil
+}
+
+// SharedOutShape returns the per-sample shape of the shared prefix output —
+// the intermediate tensor shipped to the edge server when the binary branch
+// is not confident.
+func (m *Composite) SharedOutShape() []int { return m.Shared.OutShape(m.Cfg.InShape()) }
+
+// ForwardShared runs the shared prefix.
+func (m *Composite) ForwardShared(x *tensor.Tensor, train bool) *tensor.Tensor {
+	return m.Shared.Forward(x, train)
+}
+
+// ForwardMain runs the full main branch (shared prefix + rest).
+func (m *Composite) ForwardMain(x *tensor.Tensor, train bool) *tensor.Tensor {
+	return m.MainRest.Forward(m.Shared.Forward(x, train), train)
+}
+
+// ForwardMainRest runs only the post-prefix main branch, as the edge server
+// does on a received intermediate tensor (Algorithm 2 line 8).
+func (m *Composite) ForwardMainRest(t *tensor.Tensor, train bool) *tensor.Tensor {
+	return m.MainRest.Forward(t, train)
+}
+
+// ForwardBinary runs the binary branch on a shared-prefix output.
+func (m *Composite) ForwardBinary(t *tensor.Tensor, train bool) *tensor.Tensor {
+	return m.Binary.Forward(t, train)
+}
+
+// MainParams returns the parameters updated when training the main branch
+// (shared prefix + main rest), Algorithm 1 lines 1-5.
+func (m *Composite) MainParams() []*nn.Param {
+	return append(m.Shared.Params(), m.MainRest.Params()...)
+}
+
+// BinaryParams returns the parameters updated when training the binary
+// branch, Algorithm 1 lines 6-14. The shared prefix is excluded so binary
+// training cannot degrade the already-trained main branch.
+func (m *Composite) BinaryParams() []*nn.Param { return m.Binary.Params() }
+
+// MainFLOPs returns per-sample forward FLOPs of the full main branch.
+func (m *Composite) MainFLOPs() int64 {
+	in := m.Cfg.InShape()
+	return m.Shared.FLOPs(in) + m.MainRest.FLOPs(m.Shared.OutShape(in))
+}
+
+// BinaryFLOPs returns per-sample forward FLOPs of shared prefix + binary
+// branch — the on-browser compute cost.
+func (m *Composite) BinaryFLOPs() int64 {
+	in := m.Cfg.InShape()
+	return m.Shared.FLOPs(in) + m.Binary.FLOPs(m.Shared.OutShape(in))
+}
+
+// layerSizeBytes returns the deployed size of one layer: one bit per weight
+// (plus float scale/bias) for binary layers, four bytes per parameter for
+// float layers, and the running statistics for batch norm.
+func layerSizeBytes(l nn.Layer) int64 {
+	switch t := l.(type) {
+	case *binary.Conv2D:
+		k := t.InC * t.KH * t.KW
+		bits := int64(t.OutC) * int64(k)
+		return (bits+7)/8 + int64(t.OutC)*8 // packed bits + alpha + bias
+	case *binary.Linear:
+		bits := int64(t.Out) * int64(t.In)
+		return (bits+7)/8 + int64(t.Out)*8
+	case *nn.BatchNorm:
+		var pb int64
+		for _, p := range l.Params() {
+			pb += int64(p.Value.Len()) * 4
+		}
+		return pb + int64(t.RunningMean.Len())*4 + int64(t.RunningVar.Len())*4
+	case *nn.Sequential:
+		var s int64
+		for _, inner := range t.Layers {
+			s += layerSizeBytes(inner)
+		}
+		return s
+	case *nn.Residual:
+		s := layerSizeBytes(t.Body)
+		if t.Shortcut != nil {
+			s += layerSizeBytes(t.Shortcut)
+		}
+		return s
+	case interface{ SizeBytes() int64 }:
+		// Layers that know their own deployed footprint (e.g. k-bit
+		// quantized layers from internal/quantize).
+		return t.SizeBytes()
+	default:
+		var s int64
+		for _, p := range l.Params() {
+			s += int64(p.Value.Len()) * 4
+		}
+		return s
+	}
+}
+
+// MainSizeBytes returns the deployed model size of the full main branch
+// (shared prefix + rest) in bytes — M_size in Table I.
+func (m *Composite) MainSizeBytes() int64 {
+	return layerSizeBytes(m.Shared) + layerSizeBytes(m.MainRest)
+}
+
+// BinarySizeBytes returns the deployed size of what the browser loads:
+// shared prefix (float) + binary branch (bit-packed) — B_size in Table I.
+func (m *Composite) BinarySizeBytes() int64 {
+	return layerSizeBytes(m.Shared) + layerSizeBytes(m.Binary)
+}
+
+// ParamCount returns the total number of trainable scalars in the network.
+func (m *Composite) ParamCount() int64 {
+	var n int64
+	for _, p := range m.MainParams() {
+		n += int64(p.Value.Len())
+	}
+	for _, p := range m.BinaryParams() {
+		n += int64(p.Value.Len())
+	}
+	return n
+}

@@ -1,0 +1,107 @@
+package models
+
+import (
+	"fmt"
+
+	"lcrs/internal/binary"
+	"lcrs/internal/nn"
+	"lcrs/internal/tensor"
+)
+
+// AlexNetBranchAt builds an AlexNet composite whose shared prefix extends
+// through the afterConv-th convolutional layer (1-based) — the §IV-D2
+// design question "where should the binary branch attach?". afterConv=1 is
+// the paper's recommendation (and what AlexNet builds); larger values grow
+// the shared prefix, shrinking the binary branch but inflating both the
+// intermediate tensor shipped to the edge and the float parameters the
+// browser must download.
+func AlexNetBranchAt(cfg Config, afterConv int) (*Composite, error) {
+	if afterConv < 1 || afterConv > 4 {
+		return nil, fmt.Errorf("models: branch location %d out of [1,4]", afterConv)
+	}
+	g := tensor.NewRNG(cfg.Seed)
+	c1 := cfg.scaled(64)
+	c2 := cfg.scaled(192)
+	c3 := cfg.scaled(384)
+	c4 := cfg.scaled(256)
+	c5 := cfg.scaled(256)
+	fcH := cfg.scaled(3000)
+
+	// Full main-branch layer plan, grouped per conv stage so the shared
+	// prefix can end after any of them.
+	type stage struct{ layers []nn.Layer }
+	stages := []stage{
+		{[]nn.Layer{
+			nn.NewConv2D("conv1", g, cfg.InC, c1, 3, 3, 1, 1),
+			nn.NewReLU("relu1"),
+			nn.NewMaxPool2D("pool1", 2, 2, 0),
+		}},
+		{[]nn.Layer{
+			nn.NewConv2D("conv2", g, c1, c2, 3, 3, 1, 1),
+			nn.NewBatchNorm("bn2", c2),
+			nn.NewReLU("relu2"),
+			nn.NewMaxPool2D("pool2", 2, 2, 0),
+		}},
+		{[]nn.Layer{
+			nn.NewConv2D("conv3", g, c2, c3, 3, 3, 1, 1),
+			nn.NewBatchNorm("bn3", c3),
+			nn.NewReLU("relu3"),
+		}},
+		{[]nn.Layer{
+			nn.NewConv2D("conv4", g, c3, c4, 3, 3, 1, 1),
+			nn.NewBatchNorm("bn4", c4),
+			nn.NewReLU("relu4"),
+		}},
+	}
+
+	shared := newStack("alexnet.shared", cfg.InShape())
+	for _, st := range stages[:afterConv] {
+		for _, l := range st.layers {
+			shared.add(l)
+		}
+	}
+
+	main := newStack("alexnet.main", shared.cur)
+	for _, st := range stages[afterConv:] {
+		for _, l := range st.layers {
+			main.add(l)
+		}
+	}
+	main.add(nn.NewConv2D("conv5", g, c4, c5, 3, 3, 1, 1)).
+		add(nn.NewBatchNorm("bn5", c5)).
+		add(nn.NewReLU("relu5"))
+	if _, h, _ := main.chw(); h >= 2 {
+		main.add(nn.NewMaxPool2D("pool5", 2, 2, 0))
+	}
+	main.add(nn.NewFlatten("flat"))
+	main.add(nn.NewLinear("fc6", g, main.features(), fcH)).
+		add(nn.NewBatchNorm("bn6", fcH)).
+		add(nn.NewReLU("relu6")).
+		add(nn.NewDropout("drop6", g, 0.5)).
+		add(nn.NewLinear("fc7", g, fcH, fcH)).
+		add(nn.NewReLU("relu7")).
+		add(nn.NewDropout("drop7", g, 0.5)).
+		add(nn.NewLinear("fc8", g, fcH, cfg.Classes))
+
+	// The binary branch always has the same shape: one binary conv, one
+	// pool (when space allows), one binary FC, float classifier — so
+	// location is the only variable in the sweep.
+	bin := newStack("alexnet.binary", shared.cur)
+	inC := shared.cur[0]
+	outC := cfg.scaled(256)
+	bin.add(binary.NewConv2D("bconv1", g, inC, outC, 3, 3, 1, 1))
+	if _, h, _ := bin.chw(); h >= 4 {
+		bin.add(nn.NewMaxPool2D("bpool1", 2, 2, 0))
+	}
+	bin.add(nn.NewBatchNorm("bbn1", outC)).
+		add(nn.NewFlatten("bflat"))
+	bin.add(binary.NewLinear("bfc1", g, bin.features(), cfg.scaled(1024))).
+		add(nn.NewBatchNorm("bbn2", cfg.scaled(1024))).
+		add(nn.NewLinear("bout", g, bin.features(), cfg.Classes))
+
+	m := &Composite{Name: "alexnet", Shared: shared.seq, MainRest: main.seq, Binary: bin.seq, Cfg: cfg}
+	if err := m.Validate(); err != nil {
+		return nil, err
+	}
+	return m, nil
+}

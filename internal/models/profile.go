@@ -1,0 +1,79 @@
+package models
+
+import (
+	"lcrs/internal/nn"
+)
+
+// LayerCost profiles one atomic layer of the main branch: its forward cost,
+// the size of its output activation (a candidate partition payload), and
+// its deployed parameter bytes (a candidate model-loading payload).
+type LayerCost struct {
+	// Name is the layer's identifier.
+	Name string
+	// FLOPs is the per-sample forward cost.
+	FLOPs int64
+	// OutBytes is the float32 size of the layer's per-sample output — what
+	// a partition after this layer must ship to the edge server.
+	OutBytes int64
+	// ParamBytes is the deployed size of this layer on whichever side
+	// executes it.
+	ParamBytes int64
+}
+
+// flattenAtomic expands nested Sequentials into a flat layer list, keeping
+// Residual blocks atomic (a partition point inside a skip connection would
+// need to ship two tensors, which none of the compared systems do).
+func flattenAtomic(l nn.Layer) []nn.Layer {
+	if seq, ok := l.(*nn.Sequential); ok {
+		var out []nn.Layer
+		for _, c := range seq.Layers {
+			out = append(out, flattenAtomic(c)...)
+		}
+		return out
+	}
+	return []nn.Layer{l}
+}
+
+// MainLayerCosts profiles the full main branch (shared prefix + rest) as a
+// flat list of atomic layers. Partitioning the network after layer i means
+// the client executes costs[0..i] and ships costs[i].OutBytes upstream.
+func MainLayerCosts(m *Composite) []LayerCost {
+	layers := append(flattenAtomic(m.Shared), flattenAtomic(m.MainRest)...)
+	in := m.Cfg.InShape()
+	var out []LayerCost
+	for _, l := range layers {
+		shape := l.OutShape(in)
+		n := int64(1)
+		for _, d := range shape {
+			n *= int64(d)
+		}
+		out = append(out, LayerCost{
+			Name:       l.Name(),
+			FLOPs:      l.FLOPs(in),
+			OutBytes:   n * 4,
+			ParamBytes: layerSizeBytes(l),
+		})
+		in = shape
+	}
+	return out
+}
+
+// InputBytes returns the float32 size of one input sample — the edge-only
+// baseline's per-sample upload.
+func (m *Composite) InputBytes() int64 {
+	n := int64(1)
+	for _, d := range m.Cfg.InShape() {
+		n *= int64(d)
+	}
+	return n * 4
+}
+
+// SharedOutBytes returns the float32 size of the shared prefix output — the
+// intermediate tensor LCRS ships when the binary branch is not confident.
+func (m *Composite) SharedOutBytes() int64 {
+	n := int64(1)
+	for _, d := range m.SharedOutShape() {
+		n *= int64(d)
+	}
+	return n * 4
+}

@@ -1,0 +1,114 @@
+package models
+
+import (
+	"testing"
+)
+
+func TestMainLayerCostsConsistency(t *testing.T) {
+	cfg := Config{Classes: 10, InC: 3, InH: 32, InW: 32, WidthScale: 0.1, Seed: 1}
+	for _, arch := range Names() {
+		m, err := Build(arch, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		costs := MainLayerCosts(m)
+		if len(costs) < 5 {
+			t.Fatalf("%s: only %d atomic layers", arch, len(costs))
+		}
+		var totalFLOPs, totalBytes int64
+		for i, c := range costs {
+			if c.FLOPs < 0 || c.OutBytes <= 0 || c.ParamBytes < 0 {
+				t.Fatalf("%s layer %d (%s): bad costs %+v", arch, i, c.Name, c)
+			}
+			totalFLOPs += c.FLOPs
+			totalBytes += c.ParamBytes
+		}
+		if totalFLOPs != m.MainFLOPs() {
+			t.Fatalf("%s: layer FLOPs sum %d != MainFLOPs %d", arch, totalFLOPs, m.MainFLOPs())
+		}
+		if totalBytes != m.MainSizeBytes() {
+			t.Fatalf("%s: layer bytes sum %d != MainSizeBytes %d", arch, totalBytes, m.MainSizeBytes())
+		}
+		// The final boundary's activation is the logits vector.
+		last := costs[len(costs)-1]
+		if last.OutBytes != int64(cfg.Classes)*4 {
+			t.Fatalf("%s: final activation %d bytes, want %d", arch, last.OutBytes, cfg.Classes*4)
+		}
+	}
+}
+
+func TestInputAndSharedBytes(t *testing.T) {
+	cfg := Config{Classes: 10, InC: 3, InH: 32, InW: 32, WidthScale: 0.1, Seed: 1}
+	m, err := Build("lenet", cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := m.InputBytes(); got != 3*32*32*4 {
+		t.Fatalf("InputBytes = %d", got)
+	}
+	shape := m.SharedOutShape()
+	want := int64(shape[0]*shape[1]*shape[2]) * 4
+	if got := m.SharedOutBytes(); got != want {
+		t.Fatalf("SharedOutBytes = %d, want %d", got, want)
+	}
+}
+
+func TestAlexNetWithBranchValidation(t *testing.T) {
+	cfg := Config{Classes: 10, InC: 3, InH: 32, InW: 32, WidthScale: 0.1, Seed: 1}
+	for _, shape := range []BranchShape{
+		{NBinaryConv: 0, NBinaryFC: 1},
+		{NBinaryConv: 5, NBinaryFC: 1},
+		{NBinaryConv: 1, NBinaryFC: 0},
+		{NBinaryConv: 1, NBinaryFC: 4},
+	} {
+		if _, err := AlexNetWithBranch(cfg, shape); err == nil {
+			t.Errorf("shape %+v accepted", shape)
+		}
+	}
+	m, err := AlexNetWithBranch(cfg, BranchShape{NBinaryConv: 3, NBinaryFC: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAlexNetBranchAtValidation(t *testing.T) {
+	cfg := Config{Classes: 10, InC: 3, InH: 32, InW: 32, WidthScale: 0.1, Seed: 1}
+	for _, loc := range []int{0, 5} {
+		if _, err := AlexNetBranchAt(cfg, loc); err == nil {
+			t.Errorf("location %d accepted", loc)
+		}
+	}
+	// Every valid location builds a consistent composite on both domains.
+	for _, domain := range []Config{cfg, {Classes: 10, InC: 1, InH: 28, InW: 28, WidthScale: 0.1, Seed: 1}} {
+		for loc := 1; loc <= 4; loc++ {
+			m, err := AlexNetBranchAt(domain, loc)
+			if err != nil {
+				t.Fatalf("location %d (%dx%d): %v", loc, domain.InH, domain.InW, err)
+			}
+			if err := m.Validate(); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+}
+
+// Deeper attachment points must shrink the edge-side remainder: the main
+// rest FLOPs decrease monotonically with the location.
+func TestBranchLocationShrinksMainRest(t *testing.T) {
+	cfg := Config{Classes: 10, InC: 3, InH: 32, InW: 32, WidthScale: 0.2, Seed: 1}
+	var prev int64 = 1 << 62
+	for loc := 1; loc <= 4; loc++ {
+		m, err := AlexNetBranchAt(cfg, loc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rest := m.MainRest.FLOPs(m.SharedOutShape())
+		if rest >= prev {
+			t.Fatalf("main rest FLOPs at location %d (%d) not below %d", loc, rest, prev)
+		}
+		prev = rest
+	}
+}

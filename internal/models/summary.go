@@ -1,0 +1,72 @@
+package models
+
+import (
+	"fmt"
+	"strings"
+
+	"lcrs/internal/binary"
+	"lcrs/internal/nn"
+)
+
+// Summary renders a layer-by-layer description of the composite: per-layer
+// output shapes, parameter counts, deployed bytes and FLOPs for the shared
+// prefix, the main branch and the binary branch, followed by the aggregate
+// sizes of Table I.
+func (m *Composite) Summary() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s composite (input %v, %d classes, width x%.2f)\n",
+		m.Name, m.Cfg.InShape(), m.Cfg.Classes, widthOrOne(m.Cfg.WidthScale))
+
+	section := func(title string, seq *nn.Sequential, in []int) []int {
+		fmt.Fprintf(&b, "\n[%s]\n", title)
+		fmt.Fprintf(&b, "%-22s %-16s %12s %12s %14s\n", "layer", "output", "params", "bytes", "flops")
+		for _, l := range flattenAtomic(seq) {
+			out := l.OutShape(in)
+			var params int64
+			for _, p := range l.Params() {
+				params += int64(p.Value.Len())
+			}
+			fmt.Fprintf(&b, "%-22s %-16s %12d %12d %14d\n",
+				layerLabel(l), shapeString(out), params, layerSizeBytes(l), l.FLOPs(in))
+			in = out
+		}
+		return in
+	}
+
+	sharedOut := section("shared prefix", m.Shared, m.Cfg.InShape())
+	section("main branch (edge server)", m.MainRest, sharedOut)
+	section("binary branch (browser)", m.Binary, sharedOut)
+
+	fmt.Fprintf(&b, "\nmain model:    %10.3f MB  %14d FLOPs/sample\n",
+		float64(m.MainSizeBytes())/(1<<20), m.MainFLOPs())
+	fmt.Fprintf(&b, "browser bundle:%10.3f MB  %14d FLOPs/sample  (%.1fx smaller)\n",
+		float64(m.BinarySizeBytes())/(1<<20), m.BinaryFLOPs(),
+		float64(m.MainSizeBytes())/float64(m.BinarySizeBytes()))
+	return b.String()
+}
+
+func widthOrOne(s float64) float64 {
+	if s == 0 {
+		return 1
+	}
+	return s
+}
+
+func shapeString(s []int) string {
+	parts := make([]string, len(s))
+	for i, d := range s {
+		parts[i] = fmt.Sprint(d)
+	}
+	return strings.Join(parts, "x")
+}
+
+// layerLabel annotates binary layers so the summary shows what is
+// bit-packed on deployment.
+func layerLabel(l nn.Layer) string {
+	switch l.(type) {
+	case *binary.Conv2D, *binary.Linear:
+		return l.Name() + " (1-bit)"
+	default:
+		return l.Name()
+	}
+}

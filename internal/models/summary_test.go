@@ -1,0 +1,38 @@
+package models
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestSummaryContents(t *testing.T) {
+	cfg := Config{Classes: 10, InC: 3, InH: 32, InW: 32, WidthScale: 0.1, Seed: 1}
+	m, err := Build("alexnet", cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := m.Summary()
+	for _, want := range []string{
+		"alexnet composite",
+		"[shared prefix]",
+		"[main branch (edge server)]",
+		"[binary branch (browser)]",
+		"(1-bit)",
+		"browser bundle:",
+		"x smaller",
+	} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("summary missing %q:\n%s", want, s)
+		}
+	}
+	// Every architecture's summary renders without panicking.
+	for _, arch := range Names() {
+		m, err := Build(arch, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(m.Summary()) < 200 {
+			t.Fatalf("%s summary suspiciously short", arch)
+		}
+	}
+}

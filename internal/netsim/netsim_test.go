@@ -1,0 +1,92 @@
+package netsim
+
+import (
+	"testing"
+	"time"
+)
+
+func TestTransferTimeFormula(t *testing.T) {
+	l := &Link{Name: "t", DownMbps: 10, UpMbps: 5, RTT: 40 * time.Millisecond}
+	// 1.25 MB = 10 Mb -> 1s at 10 Mb/s, plus RTT/2.
+	got := l.DownTime(1_250_000)
+	want := time.Second + 20*time.Millisecond
+	if got != want {
+		t.Fatalf("DownTime = %v, want %v", got, want)
+	}
+	// Uplink at half the bandwidth takes twice the serialization time.
+	up := l.UpTime(1_250_000)
+	if up != 2*time.Second+20*time.Millisecond {
+		t.Fatalf("UpTime = %v", up)
+	}
+}
+
+func TestZeroPayloadCostsHalfRTT(t *testing.T) {
+	l := FourG()
+	if got := l.DownTime(0); got != l.RTT/2 {
+		t.Fatalf("zero payload = %v, want RTT/2 = %v", got, l.RTT/2)
+	}
+}
+
+func TestNegativePayloadPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("negative payload did not panic")
+		}
+	}()
+	FourG().UpTime(-1)
+}
+
+func TestProfilesAsymmetry(t *testing.T) {
+	for _, l := range []*Link{FourG(), WiFi(), ThreeG()} {
+		if l.UpMbps > l.DownMbps {
+			t.Errorf("%s: uplink faster than downlink", l.Name)
+		}
+		if l.RTT <= 0 {
+			t.Errorf("%s: non-positive RTT", l.Name)
+		}
+	}
+	if FourG().DownMbps != 10 || FourG().UpMbps != 3 {
+		t.Error("4G profile must match the paper's 10/3 Mb/s setting")
+	}
+}
+
+func TestJitterBoundedAndDeterministic(t *testing.T) {
+	l := FourG()
+	l.Seed(7)
+	base := l.DownTime(100_000)
+	var samples []time.Duration
+	for i := 0; i < 50; i++ {
+		s := l.SampleDownTime(100_000)
+		lo := time.Duration(float64(base) * (1 - l.Jitter - 1e-9))
+		hi := time.Duration(float64(base) * (1 + l.Jitter + 1e-9))
+		if s < lo || s > hi {
+			t.Fatalf("sample %v outside [%v, %v]", s, lo, hi)
+		}
+		samples = append(samples, s)
+	}
+	// Same seed reproduces the sequence.
+	l.Seed(7)
+	for i := 0; i < 50; i++ {
+		if got := l.SampleDownTime(100_000); got != samples[i] {
+			t.Fatal("jitter is not reproducible from the seed")
+		}
+	}
+	// Jitter actually varies.
+	allSame := true
+	for _, s := range samples[1:] {
+		if s != samples[0] {
+			allSame = false
+			break
+		}
+	}
+	if allSame {
+		t.Fatal("jitter produced constant samples")
+	}
+}
+
+func TestNoJitterLinkIsStable(t *testing.T) {
+	l := &Link{Name: "stable", DownMbps: 10, UpMbps: 10, RTT: 10 * time.Millisecond}
+	if l.SampleDownTime(1000) != l.DownTime(1000) {
+		t.Fatal("zero-jitter link must be deterministic")
+	}
+}

@@ -1,0 +1,93 @@
+package nn
+
+import (
+	"lcrs/internal/tensor"
+)
+
+// ReLU is the rectified linear activation, applied element-wise.
+type ReLU struct {
+	name string
+	mask []bool // true where input > 0 in the last training forward
+}
+
+// NewReLU constructs a ReLU activation layer.
+func NewReLU(name string) *ReLU { return &ReLU{name: name} }
+
+// Name implements Layer.
+func (r *ReLU) Name() string { return r.name }
+
+// Params implements Layer.
+func (r *ReLU) Params() []*Param { return nil }
+
+// OutShape implements Layer.
+func (r *ReLU) OutShape(in []int) []int { return append([]int(nil), in...) }
+
+// FLOPs implements Layer.
+func (r *ReLU) FLOPs(in []int) int64 { return int64(shapeProduct(in)) }
+
+// Forward implements Layer.
+func (r *ReLU) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+	out := tensor.New(x.Shape...)
+	if train {
+		if cap(r.mask) < len(x.Data) {
+			r.mask = make([]bool, len(x.Data))
+		}
+		r.mask = r.mask[:len(x.Data)]
+	}
+	for i, v := range x.Data {
+		pos := v > 0
+		if pos {
+			out.Data[i] = v
+		}
+		if train {
+			r.mask[i] = pos
+		}
+	}
+	return out
+}
+
+// Backward implements Layer.
+func (r *ReLU) Backward(dout *tensor.Tensor) *tensor.Tensor {
+	dx := tensor.New(dout.Shape...)
+	for i, v := range dout.Data {
+		if r.mask[i] {
+			dx.Data[i] = v
+		}
+	}
+	return dx
+}
+
+// Flatten reshapes NCHW activations to (batch, features). It is shape
+// bookkeeping only; storage is shared.
+type Flatten struct {
+	name      string
+	lastShape []int
+}
+
+// NewFlatten constructs a flatten layer.
+func NewFlatten(name string) *Flatten { return &Flatten{name: name} }
+
+// Name implements Layer.
+func (f *Flatten) Name() string { return f.name }
+
+// Params implements Layer.
+func (f *Flatten) Params() []*Param { return nil }
+
+// OutShape implements Layer.
+func (f *Flatten) OutShape(in []int) []int { return []int{shapeProduct(in)} }
+
+// FLOPs implements Layer.
+func (f *Flatten) FLOPs(in []int) int64 { return 0 }
+
+// Forward implements Layer.
+func (f *Flatten) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+	if train {
+		f.lastShape = append([]int(nil), x.Shape...)
+	}
+	return x.Reshape(x.Dim(0), -1)
+}
+
+// Backward implements Layer.
+func (f *Flatten) Backward(dout *tensor.Tensor) *tensor.Tensor {
+	return dout.Reshape(f.lastShape...)
+}

@@ -1,0 +1,182 @@
+package nn
+
+import (
+	"fmt"
+
+	"lcrs/internal/tensor"
+)
+
+// Conv2D is a full-precision 2-D convolution over NCHW input, implemented
+// as im2col followed by matrix multiplication.
+type Conv2D struct {
+	name    string
+	InC     int
+	OutC    int
+	KH, KW  int
+	Stride  int
+	Pad     int
+	Weight  *Param // (OutC, InC, KH, KW)
+	Bias    *Param // (OutC)
+	UseBias bool
+
+	// caches from the last training forward pass
+	lastInput *tensor.Tensor
+	lastCols  []float32 // im2col matrix per batch element, concatenated
+	lastGeom  tensor.ConvGeom
+
+	// scratch is reused across inference forward passes to keep the
+	// im2col buffer off the garbage collector's back; training passes
+	// reuse lastCols instead, which must survive until Backward. Layers
+	// are therefore not safe for concurrent Forward calls; callers that
+	// share a model across goroutines must serialize (the edge server
+	// does).
+	scratch []float32
+}
+
+// colsBuffer returns an n-length buffer: the training cache when train is
+// set (it must survive until Backward), the inference scratch otherwise.
+func (c *Conv2D) colsBuffer(n int, train bool) []float32 {
+	if train {
+		if cap(c.lastCols) < n {
+			c.lastCols = make([]float32, n)
+		}
+		return c.lastCols[:n]
+	}
+	if cap(c.scratch) < n {
+		c.scratch = make([]float32, n)
+	}
+	return c.scratch[:n]
+}
+
+// NewConv2D constructs a convolution layer with Kaiming-initialized weights.
+func NewConv2D(name string, g *tensor.RNG, inC, outC, kh, kw, stride, pad int) *Conv2D {
+	c := &Conv2D{
+		name: name, InC: inC, OutC: outC, KH: kh, KW: kw,
+		Stride: stride, Pad: pad, UseBias: true,
+	}
+	c.Weight = NewParam(name+".weight", g.KaimingConv(outC, inC, kh, kw))
+	c.Bias = NewParam(name+".bias", tensor.New(outC))
+	c.Bias.NoDecay = true
+	return c
+}
+
+// Name implements Layer.
+func (c *Conv2D) Name() string { return c.name }
+
+// Params implements Layer.
+func (c *Conv2D) Params() []*Param {
+	if c.UseBias {
+		return []*Param{c.Weight, c.Bias}
+	}
+	return []*Param{c.Weight}
+}
+
+// OutShape implements Layer.
+func (c *Conv2D) OutShape(in []int) []int {
+	g := c.geom(in)
+	return []int{c.OutC, g.OutH(), g.OutW()}
+}
+
+// FLOPs implements Layer: 2*K multiply-adds per output element plus bias.
+func (c *Conv2D) FLOPs(in []int) int64 {
+	g := c.geom(in)
+	k := int64(c.InC * c.KH * c.KW)
+	out := int64(c.OutC) * int64(g.OutH()) * int64(g.OutW())
+	return out * (2*k + 1)
+}
+
+func (c *Conv2D) geom(in []int) tensor.ConvGeom {
+	if len(in) != 3 {
+		panic(fmt.Sprintf("nn: %s expects CHW sample shape, got %v", c.name, in))
+	}
+	if in[0] != c.InC {
+		panic(fmt.Sprintf("nn: %s expects %d input channels, got %d", c.name, c.InC, in[0]))
+	}
+	return tensor.ConvGeom{
+		InC: c.InC, InH: in[1], InW: in[2],
+		KH: c.KH, KW: c.KW, Stride: c.Stride, Pad: c.Pad,
+	}
+}
+
+// Forward implements Layer.
+func (c *Conv2D) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+	checkRank(c.name, x, 4)
+	n := x.Dim(0)
+	g := c.geom(x.Shape[1:])
+	outH, outW := g.OutH(), g.OutW()
+	p := outH * outW
+	k := c.InC * c.KH * c.KW
+
+	out := tensor.New(n, c.OutC, outH, outW)
+	w2d := c.Weight.Value.Reshape(c.OutC, k)
+
+	colsAll := c.colsBuffer(n*p*k, train)
+	cols := tensor.FromSlice(colsAll[:p*k], p, k) // reused view, re-pointed per sample
+	for i := 0; i < n; i++ {
+		sampleCols := colsAll[i*p*k : (i+1)*p*k]
+		g.Im2Col(sampleCols, x.Batch(i).Data)
+		cols.Data = sampleCols
+		// (OutC x K) x (P x K)^T = OutC x P, exactly the NCHW output plane.
+		oc := tensor.MatMulTransB(w2d, cols)
+		copy(out.Batch(i).Data, oc.Data)
+	}
+	if c.UseBias {
+		for i := 0; i < n; i++ {
+			ob := out.Batch(i)
+			for ch := 0; ch < c.OutC; ch++ {
+				b := c.Bias.Value.Data[ch]
+				plane := ob.Data[ch*p : (ch+1)*p]
+				for j := range plane {
+					plane[j] += b
+				}
+			}
+		}
+	}
+	if train {
+		c.lastInput = x
+		c.lastCols = colsAll
+		c.lastGeom = g
+	}
+	return out
+}
+
+// Backward implements Layer.
+func (c *Conv2D) Backward(dout *tensor.Tensor) *tensor.Tensor {
+	if c.lastInput == nil {
+		panic(fmt.Sprintf("nn: %s Backward before training Forward", c.name))
+	}
+	x := c.lastInput
+	n := x.Dim(0)
+	g := c.lastGeom
+	p := g.OutH() * g.OutW()
+	k := c.InC * c.KH * c.KW
+
+	dx := tensor.New(x.Shape...)
+	w2d := c.Weight.Value.Reshape(c.OutC, k)
+	dw2d := c.Weight.Grad.Reshape(c.OutC, k)
+
+	for i := 0; i < n; i++ {
+		doutI := tensor.FromSlice(dout.Batch(i).Data, c.OutC, p)
+		cols := tensor.FromSlice(c.lastCols[i*p*k:(i+1)*p*k], p, k)
+
+		// dW (OutC x K) += dOut (OutC x P) x cols (P x K)
+		dwi := tensor.MatMul(doutI, cols)
+		dw2d.AddScaled(1, dwi)
+
+		// dcols (P x K) = dOut^T (P x OutC) x W (OutC x K)
+		dcols := tensor.MatMulTransA(doutI, w2d)
+		g.Col2Im(dx.Batch(i).Data, dcols.Data)
+
+		if c.UseBias {
+			for ch := 0; ch < c.OutC; ch++ {
+				var s float32
+				row := doutI.Row(ch)
+				for _, v := range row {
+					s += v
+				}
+				c.Bias.Grad.Data[ch] += s
+			}
+		}
+	}
+	return dx
+}

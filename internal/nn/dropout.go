@@ -1,0 +1,73 @@
+package nn
+
+import (
+	"fmt"
+
+	"lcrs/internal/tensor"
+)
+
+// Dropout implements inverted dropout: during training each element is
+// zeroed with probability P and survivors are scaled by 1/(1-P); at
+// inference it is the identity.
+type Dropout struct {
+	name string
+	P    float32
+	rng  *tensor.RNG
+	mask []float32
+}
+
+// NewDropout constructs a dropout layer. p must be in [0, 1).
+func NewDropout(name string, g *tensor.RNG, p float32) *Dropout {
+	if p < 0 || p >= 1 {
+		panic(fmt.Sprintf("nn: %s dropout probability %v out of [0,1)", name, p))
+	}
+	return &Dropout{name: name, P: p, rng: g.Split()}
+}
+
+// Name implements Layer.
+func (d *Dropout) Name() string { return d.name }
+
+// Params implements Layer.
+func (d *Dropout) Params() []*Param { return nil }
+
+// OutShape implements Layer.
+func (d *Dropout) OutShape(in []int) []int { return append([]int(nil), in...) }
+
+// FLOPs implements Layer: identity at inference time, which is what the
+// latency model cares about.
+func (d *Dropout) FLOPs(in []int) int64 { return 0 }
+
+// Forward implements Layer.
+func (d *Dropout) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+	if !train || d.P == 0 {
+		return x
+	}
+	out := tensor.New(x.Shape...)
+	if cap(d.mask) < x.Len() {
+		d.mask = make([]float32, x.Len())
+	}
+	d.mask = d.mask[:x.Len()]
+	keep := 1 - d.P
+	inv := 1 / keep
+	for i, v := range x.Data {
+		if d.rng.Float32() < keep {
+			d.mask[i] = inv
+			out.Data[i] = v * inv
+		} else {
+			d.mask[i] = 0
+		}
+	}
+	return out
+}
+
+// Backward implements Layer.
+func (d *Dropout) Backward(dout *tensor.Tensor) *tensor.Tensor {
+	if d.P == 0 {
+		return dout
+	}
+	dx := tensor.New(dout.Shape...)
+	for i, v := range dout.Data {
+		dx.Data[i] = v * d.mask[i]
+	}
+	return dx
+}

@@ -1,0 +1,239 @@
+package nn
+
+import (
+	"math"
+	"testing"
+
+	"lcrs/internal/tensor"
+)
+
+// projLoss computes a scalar loss as the dot product of the layer output
+// with a fixed random projection, which exercises every output element.
+func projLoss(l Layer, x, proj *tensor.Tensor, train bool) float64 {
+	out := l.Forward(x, train)
+	var s float64
+	for i, v := range out.Data {
+		s += float64(v) * float64(proj.Data[i])
+	}
+	return s
+}
+
+// checkGradients compares the layer's analytic input and parameter
+// gradients against central finite differences of projLoss.
+func checkGradients(t *testing.T, l Layer, x *tensor.Tensor, tol float64) {
+	t.Helper()
+	g := tensor.NewRNG(99)
+	outShape := append([]int{x.Dim(0)}, l.OutShape(x.Shape[1:])...)
+	proj := g.Uniform(-1, 1, outShape...)
+
+	// Analytic pass.
+	for _, p := range l.Params() {
+		p.Grad.Zero()
+	}
+	out := l.Forward(x, true)
+	if !out.SameShape(proj) {
+		t.Fatalf("OutShape %v disagrees with Forward output %v", proj.Shape, out.Shape)
+	}
+	dx := l.Backward(proj.Clone())
+
+	const h = 1e-2
+	central := func(values *tensor.Tensor, i int, step float64) float64 {
+		orig := values.Data[i]
+		values.Data[i] = orig + float32(step)
+		lp := projLoss(l, x, proj, false)
+		values.Data[i] = orig - float32(step)
+		lm := projLoss(l, x, proj, false)
+		values.Data[i] = orig
+		return (lp - lm) / (2 * step)
+	}
+	checkOne := func(name string, values *tensor.Tensor, analytic []float32) {
+		for _, i := range sampleIndices(g, values.Len(), 12) {
+			n1 := central(values, i, h)
+			n2 := central(values, i, h/2)
+			// Where the two step sizes disagree, the loss is not smooth at
+			// this point (a ReLU or max-pool kink inside the perturbation
+			// interval); finite differences are meaningless there.
+			if math.Abs(n1-n2) > 0.05*math.Max(1, math.Abs(n2)) {
+				continue
+			}
+			got := float64(analytic[i])
+			denom := math.Max(1, math.Abs(n2))
+			if math.Abs(n2-got)/denom > tol {
+				t.Errorf("%s grad[%d]: analytic %.5f vs numeric %.5f", name, i, got, n2)
+			}
+		}
+	}
+
+	checkOne("input", x, dx.Data)
+	for _, p := range l.Params() {
+		checkOne(p.Name, p.Value, p.Grad.Data)
+	}
+}
+
+func sampleIndices(g *tensor.RNG, n, k int) []int {
+	if n <= k {
+		idx := make([]int, n)
+		for i := range idx {
+			idx[i] = i
+		}
+		return idx
+	}
+	perm := g.Perm(n)
+	return perm[:k]
+}
+
+func TestConv2DGradients(t *testing.T) {
+	g := tensor.NewRNG(1)
+	l := NewConv2D("conv", g, 2, 3, 3, 3, 1, 1)
+	x := g.Uniform(-1, 1, 2, 2, 5, 5)
+	checkGradients(t, l, x, 1e-2)
+}
+
+func TestConv2DStridedNoPadGradients(t *testing.T) {
+	g := tensor.NewRNG(2)
+	l := NewConv2D("conv", g, 1, 2, 2, 2, 2, 0)
+	x := g.Uniform(-1, 1, 2, 1, 6, 6)
+	checkGradients(t, l, x, 1e-2)
+}
+
+func TestLinearGradients(t *testing.T) {
+	g := tensor.NewRNG(3)
+	l := NewLinear("fc", g, 7, 4)
+	x := g.Uniform(-1, 1, 3, 7)
+	checkGradients(t, l, x, 1e-2)
+}
+
+func TestReLUGradients(t *testing.T) {
+	g := tensor.NewRNG(4)
+	l := NewReLU("relu")
+	// Keep values away from the kink at 0 so finite differences are valid.
+	x := g.Uniform(-1, 1, 4, 10)
+	for i := range x.Data {
+		if v := x.Data[i]; v > -0.05 && v < 0.05 {
+			x.Data[i] = 0.1
+		}
+	}
+	checkGradients(t, l, x, 1e-2)
+}
+
+func TestMaxPoolGradients(t *testing.T) {
+	g := tensor.NewRNG(5)
+	l := NewMaxPool2D("pool", 2, 2, 0)
+	x := g.Uniform(-1, 1, 2, 2, 6, 6)
+	checkGradients(t, l, x, 1e-2)
+}
+
+func TestAvgPoolGradients(t *testing.T) {
+	g := tensor.NewRNG(6)
+	l := NewAvgPool2D("pool", 2, 2)
+	x := g.Uniform(-1, 1, 2, 2, 6, 6)
+	checkGradients(t, l, x, 1e-2)
+}
+
+func TestSequentialGradients(t *testing.T) {
+	g := tensor.NewRNG(7)
+	l := NewSequential("net",
+		NewConv2D("c1", g, 1, 4, 3, 3, 1, 1),
+		NewReLU("r1"),
+		NewMaxPool2D("p1", 2, 2, 0),
+		NewFlatten("flat"),
+		NewLinear("fc", g, 4*4*4, 5),
+	)
+	x := g.Uniform(-1, 1, 2, 1, 8, 8)
+	checkGradients(t, l, x, 2e-2)
+}
+
+func TestResidualIdentityGradients(t *testing.T) {
+	g := tensor.NewRNG(8)
+	body := NewSequential("body",
+		NewConv2D("c1", g, 3, 3, 3, 3, 1, 1),
+	)
+	l := NewResidual("res", body, nil)
+	x := g.Uniform(0.1, 1, 2, 3, 5, 5) // positive inputs keep ReLU smooth
+	checkGradients(t, l, x, 2e-2)
+}
+
+func TestResidualProjectionGradients(t *testing.T) {
+	g := tensor.NewRNG(9)
+	body := NewSequential("body",
+		NewConv2D("c1", g, 2, 4, 3, 3, 2, 1),
+	)
+	short := NewSequential("short",
+		NewConv2D("cs", g, 2, 4, 1, 1, 2, 0),
+	)
+	l := NewResidual("res", body, short)
+	x := g.Uniform(0.1, 1, 2, 2, 6, 6)
+	checkGradients(t, l, x, 2e-2)
+}
+
+// BatchNorm's gradient couples all elements in a batch, so the projection
+// check needs train-mode finite differences; we verify against a dedicated
+// numeric check in train mode with fixed batch statistics behaviour.
+func TestBatchNormGradients(t *testing.T) {
+	g := tensor.NewRNG(10)
+	bn := NewBatchNorm("bn", 3)
+	x := g.Uniform(-1, 1, 4, 3, 4, 4)
+	proj := g.Uniform(-1, 1, 4, 3, 4, 4)
+
+	lossAt := func() float64 {
+		// Fresh statistics every call: copy running stats back so the
+		// train-mode forward is a pure function of (x, params).
+		out := bn.Forward(x, true)
+		var s float64
+		for i, v := range out.Data {
+			s += float64(v) * float64(proj.Data[i])
+		}
+		return s
+	}
+
+	bn.Gamma.Grad.Zero()
+	bn.Beta.Grad.Zero()
+	out := bn.Forward(x, true)
+	_ = out
+	dx := bn.Backward(proj.Clone())
+
+	const h = 1e-2
+	rng := tensor.NewRNG(11)
+	check := func(name string, vals *tensor.Tensor, analytic []float32) {
+		for _, i := range sampleIndices(rng, vals.Len(), 10) {
+			orig := vals.Data[i]
+			vals.Data[i] = orig + h
+			lp := lossAt()
+			vals.Data[i] = orig - h
+			lm := lossAt()
+			vals.Data[i] = orig
+			numeric := (lp - lm) / (2 * h)
+			got := float64(analytic[i])
+			if math.Abs(numeric-got)/math.Max(1, math.Abs(numeric)) > 2e-2 {
+				t.Errorf("%s grad[%d]: analytic %.5f vs numeric %.5f", name, i, got, numeric)
+			}
+		}
+	}
+	check("input", x, dx.Data)
+	check("gamma", bn.Gamma.Value, bn.Gamma.Grad.Data)
+	check("beta", bn.Beta.Value, bn.Beta.Grad.Data)
+}
+
+func TestSoftmaxCrossEntropyGradient(t *testing.T) {
+	g := tensor.NewRNG(12)
+	logits := g.Uniform(-2, 2, 4, 5)
+	labels := []int{0, 3, 2, 4}
+
+	loss, dlogits := SoftmaxCrossEntropy(logits, labels)
+	if loss <= 0 {
+		t.Fatalf("loss = %v, want positive", loss)
+	}
+	const h = 1e-3
+	for i := 0; i < logits.Len(); i += 3 {
+		orig := logits.Data[i]
+		logits.Data[i] = orig + h
+		lp, _ := SoftmaxCrossEntropy(logits, labels)
+		logits.Data[i] = orig - h
+		lm, _ := SoftmaxCrossEntropy(logits, labels)
+		logits.Data[i] = orig
+		numeric := (lp - lm) / (2 * h)
+		if math.Abs(numeric-float64(dlogits.Data[i])) > 1e-3 {
+			t.Fatalf("dlogits[%d]: analytic %.6f vs numeric %.6f", i, dlogits.Data[i], numeric)
+		}
+	}
+}

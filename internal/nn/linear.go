@@ -1,0 +1,84 @@
+package nn
+
+import (
+	"fmt"
+
+	"lcrs/internal/tensor"
+)
+
+// Linear is a fully connected layer: out = x W^T + b with W of shape
+// (Out, In). Input is (batch, In).
+type Linear struct {
+	name    string
+	In, Out int
+	Weight  *Param // (Out, In)
+	Bias    *Param // (Out)
+
+	lastInput *tensor.Tensor
+}
+
+// NewLinear constructs a dense layer with Kaiming-initialized weights.
+func NewLinear(name string, g *tensor.RNG, in, out int) *Linear {
+	l := &Linear{name: name, In: in, Out: out}
+	l.Weight = NewParam(name+".weight", g.KaimingLinear(out, in))
+	l.Bias = NewParam(name+".bias", tensor.New(out))
+	l.Bias.NoDecay = true
+	return l
+}
+
+// Name implements Layer.
+func (l *Linear) Name() string { return l.name }
+
+// Params implements Layer.
+func (l *Linear) Params() []*Param { return []*Param{l.Weight, l.Bias} }
+
+// OutShape implements Layer.
+func (l *Linear) OutShape(in []int) []int {
+	if shapeProduct(in) != l.In {
+		panic(fmt.Sprintf("nn: %s expects %d input features, got shape %v", l.name, l.In, in))
+	}
+	return []int{l.Out}
+}
+
+// FLOPs implements Layer.
+func (l *Linear) FLOPs(in []int) int64 { return int64(l.Out) * int64(2*l.In+1) }
+
+// Forward implements Layer.
+func (l *Linear) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+	checkRank(l.name, x, 2)
+	if x.Dim(1) != l.In {
+		panic(fmt.Sprintf("nn: %s expects %d input features, got %d", l.name, l.In, x.Dim(1)))
+	}
+	// (N x In) x (Out x In)^T = N x Out
+	out := tensor.MatMulTransB(x, l.Weight.Value)
+	for i := 0; i < out.Dim(0); i++ {
+		row := out.Row(i)
+		for j := range row {
+			row[j] += l.Bias.Value.Data[j]
+		}
+	}
+	if train {
+		l.lastInput = x
+	}
+	return out
+}
+
+// Backward implements Layer.
+func (l *Linear) Backward(dout *tensor.Tensor) *tensor.Tensor {
+	if l.lastInput == nil {
+		panic(fmt.Sprintf("nn: %s Backward before training Forward", l.name))
+	}
+	x := l.lastInput
+	// dW (Out x In) += dOut^T (Out x N) x X (N x In)
+	dw := tensor.MatMulTransA(dout, x)
+	l.Weight.Grad.AddScaled(1, dw)
+	// db += column sums of dOut
+	for i := 0; i < dout.Dim(0); i++ {
+		row := dout.Row(i)
+		for j, v := range row {
+			l.Bias.Grad.Data[j] += v
+		}
+	}
+	// dX (N x In) = dOut (N x Out) x W (Out x In)
+	return tensor.MatMul(dout, l.Weight.Value)
+}

@@ -1,0 +1,18 @@
+package nn
+
+// Walk visits l and every nested layer in depth-first order. Containers
+// (Sequential, Residual) are visited before their children.
+func Walk(l Layer, fn func(Layer)) {
+	fn(l)
+	switch t := l.(type) {
+	case *Sequential:
+		for _, c := range t.Layers {
+			Walk(c, fn)
+		}
+	case *Residual:
+		Walk(t.Body, fn)
+		if t.Shortcut != nil {
+			Walk(t.Shortcut, fn)
+		}
+	}
+}

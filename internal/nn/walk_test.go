@@ -1,0 +1,38 @@
+package nn
+
+import (
+	"testing"
+
+	"lcrs/internal/tensor"
+)
+
+func TestWalkVisitsNestedLayers(t *testing.T) {
+	g := tensor.NewRNG(1)
+	inner := NewSequential("inner", NewReLU("r1"), NewReLU("r2"))
+	body := NewSequential("body", NewConv2D("c", g, 2, 2, 3, 3, 1, 1))
+	short := NewSequential("short", NewConv2D("cs", g, 2, 2, 1, 1, 1, 0))
+	res := NewResidual("res", body, short)
+	top := NewSequential("top", inner, res, NewFlatten("f"))
+
+	var names []string
+	Walk(top, func(l Layer) { names = append(names, l.Name()) })
+	want := []string{"top", "inner", "r1", "r2", "res", "body", "c", "short", "cs", "f"}
+	if len(names) != len(want) {
+		t.Fatalf("visited %v, want %v", names, want)
+	}
+	for i := range want {
+		if names[i] != want[i] {
+			t.Fatalf("visit order %v, want %v", names, want)
+		}
+	}
+}
+
+func TestWalkIdentityShortcut(t *testing.T) {
+	g := tensor.NewRNG(2)
+	res := NewResidual("res", NewSequential("body", NewConv2D("c", g, 1, 1, 3, 3, 1, 1)), nil)
+	count := 0
+	Walk(res, func(Layer) { count++ })
+	if count != 3 { // res, body, c
+		t.Fatalf("visited %d layers, want 3", count)
+	}
+}

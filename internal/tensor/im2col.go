@@ -1,0 +1,119 @@
+package tensor
+
+import "fmt"
+
+// ConvGeom describes the geometry of a 2-D convolution or pooling window.
+type ConvGeom struct {
+	InC, InH, InW int // input channels and spatial extent
+	KH, KW        int // kernel extent
+	Stride        int
+	Pad           int
+}
+
+// OutH returns the output height for the geometry.
+func (g ConvGeom) OutH() int { return (g.InH+2*g.Pad-g.KH)/g.Stride + 1 }
+
+// OutW returns the output width for the geometry.
+func (g ConvGeom) OutW() int { return (g.InW+2*g.Pad-g.KW)/g.Stride + 1 }
+
+// Validate returns an error when the geometry produces a non-positive
+// output extent or has nonsensical parameters.
+func (g ConvGeom) Validate() error {
+	if g.InC <= 0 || g.InH <= 0 || g.InW <= 0 || g.KH <= 0 || g.KW <= 0 {
+		return fmt.Errorf("conv geometry has non-positive extent: %+v", g)
+	}
+	if g.Stride <= 0 {
+		return fmt.Errorf("conv geometry stride must be positive: %+v", g)
+	}
+	if g.Pad < 0 {
+		return fmt.Errorf("conv geometry pad must be non-negative: %+v", g)
+	}
+	if g.OutH() <= 0 || g.OutW() <= 0 {
+		return fmt.Errorf("conv geometry yields empty output: %+v", g)
+	}
+	return nil
+}
+
+// Im2Col unfolds a single image (C x H x W, flattened in img) into a matrix
+// of shape (outH*outW) x (C*KH*KW) written into cols. Each row of cols is
+// one receptive field. Out-of-bounds (padding) samples contribute zeros.
+func (g ConvGeom) Im2Col(cols, img []float32) {
+	outH, outW := g.OutH(), g.OutW()
+	rowLen := g.InC * g.KH * g.KW
+	if len(cols) != outH*outW*rowLen {
+		panic(fmt.Sprintf("tensor: Im2Col cols length %d, want %d", len(cols), outH*outW*rowLen))
+	}
+	if len(img) != g.InC*g.InH*g.InW {
+		panic(fmt.Sprintf("tensor: Im2Col img length %d, want %d", len(img), g.InC*g.InH*g.InW))
+	}
+	idx := 0
+	for oy := 0; oy < outH; oy++ {
+		iy0 := oy*g.Stride - g.Pad
+		for ox := 0; ox < outW; ox++ {
+			ix0 := ox*g.Stride - g.Pad
+			for c := 0; c < g.InC; c++ {
+				plane := img[c*g.InH*g.InW:]
+				for ky := 0; ky < g.KH; ky++ {
+					iy := iy0 + ky
+					if iy < 0 || iy >= g.InH {
+						for kx := 0; kx < g.KW; kx++ {
+							cols[idx] = 0
+							idx++
+						}
+						continue
+					}
+					rowBase := iy * g.InW
+					for kx := 0; kx < g.KW; kx++ {
+						ix := ix0 + kx
+						if ix < 0 || ix >= g.InW {
+							cols[idx] = 0
+						} else {
+							cols[idx] = plane[rowBase+ix]
+						}
+						idx++
+					}
+				}
+			}
+		}
+	}
+}
+
+// Col2Im folds the column matrix back into image space, accumulating
+// overlapping contributions. It is the adjoint of Im2Col and is used in the
+// convolution backward pass. img must be zeroed by the caller when a fresh
+// gradient is wanted.
+func (g ConvGeom) Col2Im(img, cols []float32) {
+	outH, outW := g.OutH(), g.OutW()
+	rowLen := g.InC * g.KH * g.KW
+	if len(cols) != outH*outW*rowLen {
+		panic(fmt.Sprintf("tensor: Col2Im cols length %d, want %d", len(cols), outH*outW*rowLen))
+	}
+	if len(img) != g.InC*g.InH*g.InW {
+		panic(fmt.Sprintf("tensor: Col2Im img length %d, want %d", len(img), g.InC*g.InH*g.InW))
+	}
+	idx := 0
+	for oy := 0; oy < outH; oy++ {
+		iy0 := oy*g.Stride - g.Pad
+		for ox := 0; ox < outW; ox++ {
+			ix0 := ox*g.Stride - g.Pad
+			for c := 0; c < g.InC; c++ {
+				plane := img[c*g.InH*g.InW:]
+				for ky := 0; ky < g.KH; ky++ {
+					iy := iy0 + ky
+					if iy < 0 || iy >= g.InH {
+						idx += g.KW
+						continue
+					}
+					rowBase := iy * g.InW
+					for kx := 0; kx < g.KW; kx++ {
+						ix := ix0 + kx
+						if ix >= 0 && ix < g.InW {
+							plane[rowBase+ix] += cols[idx]
+						}
+						idx++
+					}
+				}
+			}
+		}
+	}
+}

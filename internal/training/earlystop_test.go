@@ -1,0 +1,53 @@
+package training
+
+import (
+	"testing"
+
+	"lcrs/internal/dataset"
+)
+
+// A trivially small problem converges to a plateau quickly; with patience
+// set, training must stop well before the epoch budget, and the reported
+// final accuracies must come from the last executed epoch.
+func TestEarlyStoppingOnPlateau(t *testing.T) {
+	m := tinyModel(t, "lenet")
+	full, err := dataset.GenerateByName("mnist", 120, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	train, test := full.Split(0.5)
+
+	opts := DefaultOptions()
+	opts.Epochs = 40
+	opts.Patience = 3
+	res, err := Run(m, train, test, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.History) >= 40 {
+		t.Fatalf("patience did not stop training: ran %d epochs", len(res.History))
+	}
+	last := res.History[len(res.History)-1]
+	if res.BinaryAcc != last.BinaryAcc || res.MainAcc != last.MainAcc {
+		t.Fatal("final accuracies must match the last epoch")
+	}
+}
+
+func TestNoEarlyStoppingWhenDisabled(t *testing.T) {
+	m := tinyModel(t, "lenet")
+	full, err := dataset.GenerateByName("mnist", 60, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	train, test := full.Split(0.5)
+	opts := DefaultOptions()
+	opts.Epochs = 5
+	opts.Patience = 0
+	res, err := Run(m, train, test, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.History) != 5 {
+		t.Fatalf("ran %d epochs, want all 5", len(res.History))
+	}
+}

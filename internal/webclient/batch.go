@@ -1,0 +1,97 @@
+package webclient
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"time"
+
+	"lcrs/internal/collab"
+	"lcrs/internal/exitpolicy"
+	"lcrs/internal/tensor"
+)
+
+// RecognizeBatch runs Algorithm 2 over a batch of samples (NCHW) with one
+// coalesced edge request: the shared prefix and binary branch run batched
+// locally, confident samples exit, and the remaining intermediate tensors
+// travel to the edge in a single round trip instead of one per sample —
+// the batching a real AR client does when it scans several detections per
+// camera frame.
+func (c *Client) RecognizeBatch(ctx context.Context, xs *tensor.Tensor) ([]Result, error) {
+	if c.model == nil {
+		return nil, fmt.Errorf("webclient: no model loaded")
+	}
+	if xs.Rank() != 4 {
+		return nil, fmt.Errorf("webclient: RecognizeBatch expects NCHW input, got %v", xs.Shape)
+	}
+	n := xs.Dim(0)
+	start := time.Now()
+	shared := c.model.ForwardShared(xs, false)
+	logits := c.branch.Forward(shared)
+	probs := tensor.Softmax(logits)
+	clientTime := time.Since(start) / time.Duration(n) // attributed per sample
+
+	results := make([]Result, n)
+	var pending []int
+	for i := 0; i < n; i++ {
+		entropy := exitpolicy.NormalizedEntropy(probs.Row(i))
+		results[i] = Result{Entropy: entropy, ClientTime: clientTime}
+		if exitpolicy.ShouldExit(entropy, c.tau) {
+			results[i].Exited = true
+			results[i].Pred = argmaxRow(logits.Row(i))
+		} else {
+			pending = append(pending, i)
+		}
+	}
+	if len(pending) == 0 {
+		return results, nil
+	}
+
+	// Gather the non-confident intermediates into one tensor.
+	sampleShape := shared.Shape[1:]
+	per := 1
+	for _, d := range sampleShape {
+		per *= d
+	}
+	gather := tensor.New(append([]int{len(pending)}, sampleShape...)...)
+	for j, idx := range pending {
+		copy(gather.Data[j*per:(j+1)*per], shared.Batch(idx).Data)
+	}
+	var buf bytes.Buffer
+	if err := collab.WriteTensor(&buf, gather); err != nil {
+		return nil, fmt.Errorf("webclient: encode batch intermediate: %w", err)
+	}
+	edgeStart := time.Now()
+	ir, err := c.edgeInfer(ctx, &buf)
+	if err != nil {
+		if c.FallbackToBinary {
+			for _, idx := range pending {
+				results[idx].Degraded = true
+				results[idx].Pred = argmaxRow(logits.Row(idx))
+			}
+			return results, nil
+		}
+		return nil, err
+	}
+	if len(ir.Preds) != len(pending) {
+		return nil, fmt.Errorf("webclient: edge returned %d predictions for %d samples",
+			len(ir.Preds), len(pending))
+	}
+	edgeTime := time.Since(edgeStart) / time.Duration(len(pending))
+	for j, idx := range pending {
+		results[idx].Pred = ir.Preds[j]
+		results[idx].EdgeTime = edgeTime
+		results[idx].ServerMicros = ir.ServerMicros
+	}
+	return results, nil
+}
+
+func argmaxRow(row []float32) int {
+	best, bi := row[0], 0
+	for j, v := range row[1:] {
+		if v > best {
+			best, bi = v, j+1
+		}
+	}
+	return bi
+}

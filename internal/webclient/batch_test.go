@@ -1,0 +1,87 @@
+package webclient
+
+import (
+	"context"
+	"testing"
+
+	"lcrs/internal/tensor"
+)
+
+// gatherBatch stacks the first n test samples into one NCHW tensor.
+func gatherBatch(test interface {
+	Sample(int) (*tensor.Tensor, int)
+	SampleShape() []int
+}, n int) (*tensor.Tensor, []int) {
+	shape := test.SampleShape()
+	per := shape[0] * shape[1] * shape[2]
+	xs := tensor.New(append([]int{n}, shape...)...)
+	labels := make([]int, n)
+	for i := 0; i < n; i++ {
+		x, l := test.Sample(i)
+		copy(xs.Data[i*per:(i+1)*per], x.Data)
+		labels[i] = l
+	}
+	return xs, labels
+}
+
+// Batched recognition must agree sample-for-sample with the one-at-a-time
+// path on predictions and exit decisions.
+func TestRecognizeBatchMatchesSingle(t *testing.T) {
+	for _, tau := range []float64{0.0, 0.35, 1.0} {
+		c, _, test, done := trainServeClient(t, tau)
+		ctx := context.Background()
+		n := 12
+		xs, _ := gatherBatch(test, n)
+		batch, err := c.RecognizeBatch(ctx, xs)
+		if err != nil {
+			done()
+			t.Fatal(err)
+		}
+		for i := 0; i < n; i++ {
+			x, _ := test.Sample(i)
+			single, err := c.Recognize(ctx, x)
+			if err != nil {
+				done()
+				t.Fatal(err)
+			}
+			if batch[i].Pred != single.Pred || batch[i].Exited != single.Exited {
+				done()
+				t.Fatalf("tau=%v sample %d: batch (pred %d exit %v) vs single (pred %d exit %v)",
+					tau, i, batch[i].Pred, batch[i].Exited, single.Pred, single.Exited)
+			}
+		}
+		done()
+	}
+}
+
+func TestRecognizeBatchValidation(t *testing.T) {
+	c := New("http://127.0.0.1:1", nil)
+	g := tensor.NewRNG(1)
+	if _, err := c.RecognizeBatch(context.Background(), g.Uniform(0, 1, 2, 1, 28, 28)); err == nil {
+		t.Fatal("batch without a model must fail")
+	}
+	cm, _, _, done := trainServeClient(t, 0.5)
+	defer done()
+	if _, err := cm.RecognizeBatch(context.Background(), g.Uniform(0, 1, 28, 28)); err == nil {
+		t.Fatal("non-NCHW batch must be rejected")
+	}
+}
+
+func TestRecognizeBatchFallbackOnOutage(t *testing.T) {
+	c, _, test, done := trainServeClient(t, 0.0) // everything needs the edge
+	done()                                       // kill the edge
+	c.FallbackToBinary = true
+	xs, _ := gatherBatch(test, 6)
+	results, err := c.RecognizeBatch(context.Background(), xs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, r := range results {
+		if !r.Degraded {
+			t.Fatalf("sample %d not marked degraded", i)
+		}
+		if r.Exited {
+			t.Fatalf("sample %d must not be a confident exit", i)
+		}
+	}
+}

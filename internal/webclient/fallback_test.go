@@ -1,0 +1,43 @@
+package webclient
+
+import (
+	"context"
+	"testing"
+)
+
+// When the edge becomes unreachable mid-session, a client with
+// FallbackToBinary keeps answering from the binary branch instead of
+// failing the scan — and reports the degradation.
+func TestFallbackToBinaryOnEdgeOutage(t *testing.T) {
+	c, m, test, done := trainServeClient(t, 0.0) // tau=0: every sample wants the edge
+	ctx := context.Background()
+
+	// Kill the edge server: subsequent edge calls fail at the transport.
+	done()
+
+	x, _ := test.Sample(0)
+	if _, err := c.Recognize(ctx, x); err == nil {
+		t.Fatal("without fallback, an edge outage must surface as an error")
+	}
+
+	c.FallbackToBinary = true
+	res, err := c.Recognize(ctx, x)
+	if err != nil {
+		t.Fatalf("fallback client errored: %v", err)
+	}
+	if !res.Degraded {
+		t.Fatal("result must be marked degraded")
+	}
+	if res.Exited {
+		t.Fatal("degraded result is not a confident exit")
+	}
+	// The degraded prediction must equal the local binary branch's answer.
+	batch := x.Reshape(1, x.Dim(0), x.Dim(1), x.Dim(2))
+	want := m.ForwardBinary(m.ForwardShared(batch, false), false).Argmax()
+	if res.Pred != want {
+		t.Fatalf("degraded pred %d, binary pred %d", res.Pred, want)
+	}
+	if res.EdgeTime != 0 || res.ServerMicros != 0 {
+		t.Fatalf("degraded result must not report edge timings: %+v", res)
+	}
+}

@@ -1,0 +1,203 @@
+// Package webclient is the browser-side inference library of the paper: it
+// downloads a model bundle from the edge server, runs the shared first
+// convolutional layer and the binary branch locally (the role the paper's
+// JS/WASM library plays inside the mobile web browser), and falls back to
+// the edge server with the intermediate tensor when the binary branch's
+// normalized entropy is above the exit threshold.
+package webclient
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"time"
+
+	"lcrs/internal/binary"
+	"lcrs/internal/collab"
+	"lcrs/internal/edge"
+	"lcrs/internal/exitpolicy"
+	"lcrs/internal/modelio"
+	"lcrs/internal/models"
+	"lcrs/internal/tensor"
+)
+
+// Client talks to one edge server and executes the browser side of
+// Algorithm 2.
+type Client struct {
+	base string
+	http *http.Client
+
+	modelName string
+	model     *models.Composite
+	branch    *binary.PackedBranch // bit-packed executor for the binary branch
+	tau       float64
+	loadTime  time.Duration
+	loadBytes int
+
+	// FallbackToBinary makes Recognize degrade gracefully: when the edge
+	// server is unreachable (or errors), the binary branch's local answer
+	// is returned with Result.Degraded set instead of failing the scan.
+	// This is the behaviour a production Web AR page wants on a flaky
+	// 4G link.
+	FallbackToBinary bool
+}
+
+// New creates a client for the edge server at baseURL (e.g.
+// "http://127.0.0.1:8080"). The provided http.Client may be nil, in which
+// case a 30-second-timeout client is used.
+func New(baseURL string, hc *http.Client) *Client {
+	if hc == nil {
+		hc = &http.Client{Timeout: 30 * time.Second}
+	}
+	return &Client{base: baseURL, http: hc}
+}
+
+// Models fetches the server's hosted model listing.
+func (c *Client) Models(ctx context.Context) ([]edge.ModelInfo, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+"/v1/models", nil)
+	if err != nil {
+		return nil, fmt.Errorf("webclient: %w", err)
+	}
+	resp, err := c.http.Do(req)
+	if err != nil {
+		return nil, fmt.Errorf("webclient: list models: %w", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("webclient: list models: status %s", resp.Status)
+	}
+	var out []edge.ModelInfo
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		return nil, fmt.Errorf("webclient: decode model list: %w", err)
+	}
+	return out, nil
+}
+
+// LoadModel downloads the bundle for name, builds the architecture locally
+// (arch + cfg must match what the server registered) and installs the
+// weights. tau is the exit threshold to use for Recognize.
+func (c *Client) LoadModel(ctx context.Context, name, arch string, cfg models.Config, tau float64) error {
+	if tau < 0 || tau > 1 {
+		return fmt.Errorf("webclient: tau %v out of [0,1]", tau)
+	}
+	start := time.Now()
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+"/v1/bundle/"+name, nil)
+	if err != nil {
+		return fmt.Errorf("webclient: %w", err)
+	}
+	resp, err := c.http.Do(req)
+	if err != nil {
+		return fmt.Errorf("webclient: fetch bundle: %w", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("webclient: fetch bundle %q: status %s", name, resp.Status)
+	}
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return fmt.Errorf("webclient: read bundle: %w", err)
+	}
+	m, err := models.Build(arch, cfg)
+	if err != nil {
+		return fmt.Errorf("webclient: build %s: %w", arch, err)
+	}
+	if err := modelio.DecodeBrowserBundle(data, m); err != nil {
+		return fmt.Errorf("webclient: install bundle: %w", err)
+	}
+	c.modelName = name
+	c.model = m
+	c.branch = binary.PackBranch(m.Binary)
+	c.tau = tau
+	c.loadTime = time.Since(start)
+	c.loadBytes = len(data)
+	return nil
+}
+
+// LoadStats reports the bundle download: wall-clock time and payload size.
+func (c *Client) LoadStats() (time.Duration, int) { return c.loadTime, c.loadBytes }
+
+// Result is one recognition outcome.
+type Result struct {
+	// Pred is the predicted class index.
+	Pred int
+	// Exited reports whether the binary branch answered locally.
+	Exited bool
+	// Entropy is the binary branch's normalized entropy.
+	Entropy float64
+	// ClientTime is the measured local compute time.
+	ClientTime time.Duration
+	// EdgeTime is the measured round trip to the edge (zero when exited).
+	EdgeTime time.Duration
+	// ServerMicros is the server-reported compute time (zero when exited).
+	ServerMicros int64
+	// Degraded reports that the edge was needed but unreachable and the
+	// binary branch's answer was returned instead (FallbackToBinary).
+	Degraded bool
+}
+
+// Recognize runs Algorithm 2 on one CHW sample.
+func (c *Client) Recognize(ctx context.Context, x *tensor.Tensor) (Result, error) {
+	if c.model == nil {
+		return Result{}, fmt.Errorf("webclient: no model loaded")
+	}
+	start := time.Now()
+	batch := x.Reshape(append([]int{1}, x.Shape...)...)
+	shared := c.model.ForwardShared(batch, false)
+	// The binary branch runs through the bit-packed XNOR executor — the
+	// code path the paper's WASM library accelerates in the browser.
+	logits := c.branch.Forward(shared)
+	probs := tensor.Softmax(logits)
+	entropy := exitpolicy.NormalizedEntropy(probs.Row(0))
+	res := Result{Entropy: entropy, ClientTime: time.Since(start)}
+
+	if exitpolicy.ShouldExit(entropy, c.tau) {
+		res.Exited = true
+		res.Pred = logits.Argmax()
+		return res, nil
+	}
+
+	var buf bytes.Buffer
+	if err := collab.WriteTensor(&buf, shared); err != nil {
+		return Result{}, fmt.Errorf("webclient: encode intermediate: %w", err)
+	}
+	edgeStart := time.Now()
+	ir, err := c.edgeInfer(ctx, &buf)
+	if err != nil {
+		if c.FallbackToBinary {
+			res.Degraded = true
+			res.Pred = logits.Argmax()
+			return res, nil
+		}
+		return Result{}, err
+	}
+	res.EdgeTime = time.Since(edgeStart)
+	res.Pred = ir.Pred
+	res.ServerMicros = ir.ServerMicros
+	return res, nil
+}
+
+// edgeInfer posts the intermediate tensor and decodes the edge's reply.
+func (c *Client) edgeInfer(ctx context.Context, body io.Reader) (edge.InferResponse, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.base+"/v1/infer/"+c.modelName, body)
+	if err != nil {
+		return edge.InferResponse{}, fmt.Errorf("webclient: %w", err)
+	}
+	req.Header.Set("Content-Type", "application/octet-stream")
+	resp, err := c.http.Do(req)
+	if err != nil {
+		return edge.InferResponse{}, fmt.Errorf("webclient: edge inference: %w", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
+		return edge.InferResponse{}, fmt.Errorf("webclient: edge inference: status %s: %s", resp.Status, msg)
+	}
+	var ir edge.InferResponse
+	if err := json.NewDecoder(resp.Body).Decode(&ir); err != nil {
+		return edge.InferResponse{}, fmt.Errorf("webclient: decode inference response: %w", err)
+	}
+	return ir, nil
+}

@@ -1,0 +1,147 @@
+package lcrs
+
+import (
+	"bytes"
+	"net/http/httptest"
+	"testing"
+)
+
+// TestPublicAPIEndToEnd exercises the whole facade: build, train, screen,
+// save/load, collaborative inference, and the HTTP edge/client pair.
+func TestPublicAPIEndToEnd(t *testing.T) {
+	cfg := ModelConfig{Classes: 10, InC: 1, InH: 28, InW: 28, WidthScale: 0.12, Seed: 1}
+	m, err := Build("lenet", cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	full, err := GenerateDataset("mnist", 400, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	train, test := full.Split(0.8)
+
+	opts := DefaultTrainOptions()
+	opts.Epochs = 8
+	res, err := Train(m, train, test, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.MainAcc < 0.6 || res.BinaryAcc < 0.5 {
+		t.Fatalf("training underperformed: main=%.3f binary=%.3f", res.MainAcc, res.BinaryAcc)
+	}
+
+	ev := Evaluate(m, test, 32)
+	tau, st := ScreenThreshold(ev, res.BinaryAcc)
+	if st.ExitRate <= 0 {
+		t.Fatalf("screening found no exits: %+v", st)
+	}
+	// The accuracy-preserving criterion: whatever exits must be at least as
+	// accurate as the stronger branch overall.
+	if _, ps := ScreenThresholdAccuracyPreserving(ev); ps.ExitRate > 0 {
+		floor := res.MainAcc
+		if res.BinaryAcc > floor {
+			floor = res.BinaryAcc
+		}
+		if ps.ExitAccuracy+1e-9 < floor {
+			t.Fatalf("preserving screening exit accuracy %+v below branch floor %.3f", ps, floor)
+		}
+	}
+
+	// Checkpoint round trip through the facade.
+	var buf bytes.Buffer
+	if err := SaveModel(&buf, m); err != nil {
+		t.Fatal(err)
+	}
+	m2, err := Build("lenet", ModelConfig{Classes: 10, InC: 1, InH: 28, InW: 28, WidthScale: 0.12, Seed: 99})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := LoadModel(&buf, m2); err != nil {
+		t.Fatal(err)
+	}
+
+	// Collaborative inference with the calibrated cost model.
+	rt, err := NewRuntime(m2, tau, DefaultCostModel())
+	if err != nil {
+		t.Fatal(err)
+	}
+	stats, err := rt.RunSession(test, 40)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Accuracy < res.BinaryAcc-0.05 {
+		t.Fatalf("collaborative accuracy %.3f below binary accuracy %.3f", stats.Accuracy, res.BinaryAcc)
+	}
+	if stats.AvgTotal <= 0 || stats.ModelLoad <= 0 {
+		t.Fatalf("latency accounting broken: %+v", stats)
+	}
+
+	// HTTP topology: edge server + web client.
+	srv := NewEdgeServer()
+	if err := srv.Register("demo", m2); err != nil {
+		t.Fatal(err)
+	}
+	hs := httptest.NewServer(srv.Handler())
+	defer hs.Close()
+	wc := NewWebClient(hs.URL)
+	ctx := t.Context()
+	if err := wc.LoadModel(ctx, "demo", "lenet", cfg, tau); err != nil {
+		t.Fatal(err)
+	}
+	x, _ := test.Sample(0)
+	out, err := wc.Recognize(ctx, x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Pred < 0 || out.Pred >= 10 {
+		t.Fatalf("prediction out of range: %d", out.Pred)
+	}
+}
+
+func TestArchitecturesAndDatasets(t *testing.T) {
+	if got := Architectures(); len(got) != 4 {
+		t.Fatalf("Architectures = %v", got)
+	}
+	if got := DatasetNames(); len(got) != 4 || got[0] != "mnist" {
+		t.Fatalf("DatasetNames = %v", got)
+	}
+}
+
+func TestBuildWithBranch(t *testing.T) {
+	cfg := ModelConfig{Classes: 10, InC: 3, InH: 32, InW: 32, WidthScale: 0.08, Seed: 1}
+	m, err := BuildWithBranch(cfg, BranchShape{NBinaryConv: 2, NBinaryFC: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Name != "alexnet" {
+		t.Fatalf("arch = %s", m.Name)
+	}
+}
+
+func TestBrowserBundleFacade(t *testing.T) {
+	cfg := ModelConfig{Classes: 10, InC: 1, InH: 28, InW: 28, WidthScale: 0.08, Seed: 1}
+	m, err := Build("lenet", cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := EncodeBrowserBundle(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Seed = 2
+	m2, err := Build("lenet", cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := DecodeBrowserBundle(data, m2); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGenerateLogoDataset(t *testing.T) {
+	d := GenerateLogoDataset(32, 1)
+	if d.Len() != 32 || d.Classes <= 1 {
+		t.Fatalf("logo dataset: %d samples, %d classes", d.Len(), d.Classes)
+	}
+}
