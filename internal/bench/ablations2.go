@@ -17,6 +17,7 @@ func moreAblations() []Experiment {
 		{ID: "ablation-concurrency", Title: "Edge-server load under concurrent AR clients (LCRS vs edge-only)", Run: (*Runner).AblationConcurrency},
 		{ID: "ablation-energy", Title: "Device energy per recognition across approaches", Run: (*Runner).AblationEnergy},
 		{ID: "ablation-bits", Title: "Branch weight precision sweep (1/2/4/8-bit vs float32)", Run: (*Runner).AblationBits},
+		{ID: "throughput", Title: "Measured edge inference throughput vs concurrent clients (replica pool)", Run: (*Runner).Throughput},
 	}
 }
 

@@ -9,6 +9,7 @@ func TestAblationRegistry(t *testing.T) {
 	want := []string{
 		"ablation-location", "ablation-branches", "ablation-tau",
 		"ablation-links", "ablation-concurrency", "ablation-energy", "ablation-bits",
+		"throughput",
 	}
 	got := Ablations()
 	if len(got) != len(want) {
@@ -109,5 +110,20 @@ func TestAblationBitsQuick(t *testing.T) {
 	out := output(r)
 	if !strings.Contains(out, "precision sweep") || !strings.Contains(out, "float32") {
 		t.Fatalf("missing output:\n%s", out)
+	}
+}
+
+func TestThroughputQuick(t *testing.T) {
+	r := quickRunner()
+	if err := r.Throughput(); err != nil {
+		t.Fatal(err)
+	}
+	out := output(r)
+	if !strings.Contains(out, "inference throughput") || !strings.Contains(out, "Req/s") {
+		t.Fatalf("missing output:\n%s", out)
+	}
+	// The serial row anchors the speedup column at exactly 1.00x.
+	if !strings.Contains(out, "1.00x") {
+		t.Fatalf("missing serial speedup anchor:\n%s", out)
 	}
 }

@@ -34,6 +34,17 @@ type Conv2D struct {
 	scratchRaw, scratchCols, scratchK []float32
 }
 
+// CloneForInference implements nn.ForwardContext: the clone shares the
+// shadow Weight and Bias but owns private scratch buffers, so eval-mode
+// Forward calls on the clone and the original may run concurrently.
+func (c *Conv2D) CloneForInference() nn.Layer {
+	return &Conv2D{
+		name: c.name, InC: c.InC, OutC: c.OutC, KH: c.KH, KW: c.KW,
+		Stride: c.Stride, Pad: c.Pad,
+		Weight: c.Weight, Bias: c.Bias,
+	}
+}
+
 // buffers returns (raw, cols, k) slices of the requested sizes, reusing
 // the training caches in train mode and the inference scratch otherwise.
 func (c *Conv2D) buffers(nRaw, nK int, train bool) (raw, cols, ks []float32) {

@@ -75,20 +75,29 @@ func (p *PackedConv2D) Forward(x *tensor.Tensor) *tensor.Tensor {
 		img := x.Batch(i).Data
 		g.Im2Col(raw, img)
 		ks := InputScales(g, img)
-		for pos := 0; pos < pp; pos++ {
-			cols.PackRow(pos, raw[pos*k:(pos+1)*k])
-		}
-		ob := out.Batch(i)
-		for o := 0; o < p.OutC; o++ {
-			wrow := p.W.Row(o)
-			alpha := p.Alpha[o]
-			bias := p.Bias[o]
-			plane := ob.Data[o*pp : (o+1)*pp]
-			for pos := 0; pos < pp; pos++ {
-				dot := XnorDot(wrow, cols.Row(pos), k)
-				plane[pos] = alpha*ks[pos]*float32(dot) + bias
+		// Each receptive field packs into its own row of cols.
+		tensor.ParallelFor(pp, func(lo, hi int) {
+			for pos := lo; pos < hi; pos++ {
+				cols.PackRow(pos, raw[pos*k:(pos+1)*k])
 			}
-		}
+		})
+		// The XNOR+popcount sweep is embarrassingly parallel across output
+		// channels: every channel writes only its own plane, and each
+		// element is one integer popcount dot plus a float scale, so the
+		// result is chunking-independent.
+		ob := out.Batch(i)
+		tensor.ParallelFor(p.OutC, func(lo, hi int) {
+			for o := lo; o < hi; o++ {
+				wrow := p.W.Row(o)
+				alpha := p.Alpha[o]
+				bias := p.Bias[o]
+				plane := ob.Data[o*pp : (o+1)*pp]
+				for pos := 0; pos < pp; pos++ {
+					dot := XnorDot(wrow, cols.Row(pos), k)
+					plane[pos] = alpha*ks[pos]*float32(dot) + bias
+				}
+			}
+		})
 	}
 	return out
 }

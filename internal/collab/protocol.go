@@ -46,8 +46,9 @@ func WriteTensor(w io.Writer, t *tensor.Tensor) error {
 }
 
 // ReadTensor decodes one frame from r. It rejects malformed and
-// implausibly large frames so a broken peer cannot trigger huge
-// allocations.
+// implausibly large frames, and grows the payload buffer only as bytes
+// actually arrive, so a broken or malicious peer cannot trigger huge
+// allocations with a header that promises more data than it sends.
 func ReadTensor(r io.Reader) (*tensor.Tensor, error) {
 	var magic, rank uint32
 	if err := binary.Read(r, binary.LittleEndian, &magic); err != nil {
@@ -78,11 +79,41 @@ func ReadTensor(r io.Reader) (*tensor.Tensor, error) {
 			return nil, fmt.Errorf("collab: frame of %d elements exceeds limit", elems)
 		}
 	}
-	t := tensor.New(shape...)
-	if err := binary.Read(r, binary.LittleEndian, t.Data); err != nil {
+	data, err := readFloats(r, elems)
+	if err != nil {
 		return nil, fmt.Errorf("collab: read frame payload: %w", err)
 	}
-	return t, nil
+	return tensor.FromSlice(data, shape...), nil
+}
+
+// payloadChunkElems is the unit in which ReadTensor grows its payload
+// buffer: 64 KiB of float32 per step, so a frame whose header claims the
+// maximum element count but whose body is truncated allocates only in
+// proportion to the bytes that actually arrived.
+const payloadChunkElems = 16 << 10
+
+// readFloats reads exactly n little-endian float32 values from r. The
+// destination grows chunk by chunk as data arrives instead of being
+// allocated up front from the (untrusted) header.
+func readFloats(r io.Reader, n int) ([]float32, error) {
+	first := n
+	if first > payloadChunkElems {
+		first = payloadChunkElems
+	}
+	data := make([]float32, 0, first)
+	scratch := make([]float32, first)
+	for len(data) < n {
+		step := n - len(data)
+		if step > payloadChunkElems {
+			step = payloadChunkElems
+		}
+		chunk := scratch[:step]
+		if err := binary.Read(r, binary.LittleEndian, chunk); err != nil {
+			return nil, err
+		}
+		data = append(data, chunk...)
+	}
+	return data, nil
 }
 
 // FrameBytes returns the encoded size of a tensor frame without encoding

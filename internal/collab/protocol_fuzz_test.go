@@ -1,0 +1,85 @@
+package collab
+
+import (
+	"bytes"
+	"encoding/binary"
+	"runtime"
+	"testing"
+
+	"lcrs/internal/tensor"
+)
+
+// mustFrame encodes t and returns the raw frame, for seeding the fuzzer.
+func mustFrame(tt *tensor.Tensor) []byte {
+	var buf bytes.Buffer
+	if err := WriteTensor(&buf, tt); err != nil {
+		panic(err)
+	}
+	return buf.Bytes()
+}
+
+// FuzzReadTensor feeds arbitrary byte streams to ReadTensor. The decoder
+// must never panic, and on valid frames it must round-trip WriteTensor
+// exactly. Corrupt or truncated frames must fail with an error without
+// allocating anywhere near the bytes their headers claim (the allocation
+// bound is asserted separately in TestReadTensorTruncatedAllocation, since
+// per-input accounting inside the fuzz loop would be noisy).
+func FuzzReadTensor(f *testing.F) {
+	g := tensor.NewRNG(7)
+	for _, tt := range []*tensor.Tensor{
+		tensor.New(1),
+		tensor.Ones(3, 2),
+		g.Uniform(-1, 1, 2, 3, 4),
+		g.Uniform(-1, 1, 1, 4, 7, 7),
+	} {
+		f.Add(mustFrame(tt))
+	}
+	// Corrupt seeds: bad magic, zero rank, huge rank, truncated payload.
+	f.Add([]byte{0xde, 0xad, 0xbe, 0xef})
+	f.Add([]byte{0x46, 0x54, 0x43, 0x4c, 0x00, 0x00, 0x00, 0x00})
+	f.Add([]byte{0x46, 0x54, 0x43, 0x4c, 0xff, 0xff, 0xff, 0xff})
+	full := mustFrame(g.Uniform(-1, 1, 5, 5))
+	f.Add(full[:len(full)-3])
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		got, err := ReadTensor(bytes.NewReader(data))
+		if err != nil {
+			return // rejecting garbage is the job; just must not panic
+		}
+		// Accepted frames must re-encode to a prefix-identical frame.
+		var out bytes.Buffer
+		if err := WriteTensor(&out, got); err != nil {
+			t.Fatalf("round-trip encode of accepted frame failed: %v", err)
+		}
+		if out.Len() > len(data) || !bytes.Equal(out.Bytes(), data[:out.Len()]) {
+			t.Fatalf("round-trip mismatch: decoded %v from %d bytes", got.Shape, len(data))
+		}
+	})
+}
+
+// A frame whose header claims the protocol-maximum element count but whose
+// payload is truncated must fail fast and must not allocate the claimed
+// 256 MB — the decoder grows its buffer only as payload bytes arrive.
+func TestReadTensorTruncatedAllocation(t *testing.T) {
+	var buf bytes.Buffer
+	for _, v := range []uint32{0x4C435446, 2, 64 << 10, 1 << 10} { // magic, rank, 64Ki x 1Ki dims
+		if err := binary.Write(&buf, binary.LittleEndian, v); err != nil {
+			t.Fatal(err)
+		}
+	}
+	buf.Write(make([]byte, 1024)) // 256 payload floats arrive, then EOF
+
+	var before, after runtime.MemStats
+	runtime.ReadMemStats(&before)
+	_, err := ReadTensor(bytes.NewReader(buf.Bytes()))
+	runtime.ReadMemStats(&after)
+	if err == nil {
+		t.Fatal("truncated frame must not decode")
+	}
+	// The claimed payload is 64Mi elements = 256 MB. Allow generous slack
+	// for the chunk scratch and unrelated background allocation, but stay
+	// orders of magnitude below the claim.
+	if got := after.TotalAlloc - before.TotalAlloc; got > 8<<20 {
+		t.Fatalf("truncated frame allocated %d bytes; want well under the 256 MB claim", got)
+	}
+}

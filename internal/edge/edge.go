@@ -10,8 +10,10 @@ import (
 	"fmt"
 	"log"
 	"net/http"
+	"runtime"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"lcrs/internal/collab"
@@ -48,21 +50,30 @@ type ModelInfo struct {
 type entry struct {
 	model  *models.Composite
 	bundle []byte
-	// mu serializes inference on this model. Evaluation-mode forward is
-	// read-only for all layers, but serializing per model keeps memory
-	// bounded under concurrent load and makes latency attribution clean.
-	mu sync.Mutex
+	// replicas is a bounded pool of eval-mode forward contexts: clones of
+	// model that share every parameter tensor but own private per-layer
+	// scratch buffers (models.Composite.CloneForInference). A request
+	// checks a replica out, runs the main-branch rest on it, and returns
+	// it, so up to cap(replicas) inferences run in parallel while memory
+	// stays bounded at replicas x scratch footprint.
+	replicas chan *models.Composite
 
 	stats modelStats
 }
 
-// modelStats tracks per-model serving counters; all fields are guarded by
-// the owning entry's mu.
+// checkout borrows a forward context from the pool, blocking until one is
+// free; the caller must hand it back with checkin.
+func (e *entry) checkout() *models.Composite { return <-e.replicas }
+
+func (e *entry) checkin(m *models.Composite) { e.replicas <- m }
+
+// modelStats tracks per-model serving counters. Counters are atomics so
+// request paths never serialize on a stats lock.
 type modelStats struct {
-	InferRequests   int64
-	InferErrors     int64
-	BundleDownloads int64
-	ComputeMicros   int64
+	InferRequests   atomic.Int64
+	InferErrors     atomic.Int64
+	BundleDownloads atomic.Int64
+	ComputeMicros   atomic.Int64
 }
 
 // ModelStats is the JSON form of one model's serving counters.
@@ -78,20 +89,42 @@ type ModelStats struct {
 
 // Server hosts models behind an http.Handler.
 type Server struct {
-	mu      sync.RWMutex
-	entries map[string]*entry
-	logger  *log.Logger
+	mu       sync.RWMutex
+	entries  map[string]*entry
+	logger   *log.Logger
+	replicas int
 }
 
-// NewServer creates an empty edge server.
+// NewServer creates an empty edge server. Each registered model gets a
+// forward-context pool sized to runtime.NumCPU(); use SetReplicas to
+// override before registering.
 func NewServer() *Server { return &Server{entries: map[string]*entry{}} }
 
 // SetLogger enables per-request logging (method, path, status, duration).
 // Pass nil to disable. Set before serving; not synchronized with requests.
 func (s *Server) SetLogger(l *log.Logger) { s.logger = l }
 
+// SetReplicas sets the forward-context pool size used by subsequent
+// Register calls. n <= 0 restores the default, runtime.NumCPU(). Larger
+// pools admit more concurrent inferences at the cost of one set of scratch
+// buffers each; already-registered models are unaffected.
+func (s *Server) SetReplicas(n int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.replicas = n
+}
+
+// replicasFor returns the configured pool size, defaulting to NumCPU.
+func (s *Server) replicasFor() int {
+	if s.replicas > 0 {
+		return s.replicas
+	}
+	return runtime.NumCPU()
+}
+
 // Register adds a trained model under the given name, precomputing its
-// browser bundle. Registering the same name twice replaces the model.
+// browser bundle and building the inference replica pool. Registering the
+// same name twice replaces the model.
 func (s *Server) Register(name string, m *models.Composite) error {
 	if name == "" || strings.ContainsAny(name, "/ ") {
 		return fmt.Errorf("edge: invalid model name %q", name)
@@ -102,7 +135,15 @@ func (s *Server) Register(name string, m *models.Composite) error {
 	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	s.entries[name] = &entry{model: m, bundle: bundle}
+	// Every replica is a clone; the caller's model is never used to serve,
+	// so callers may keep running local forward passes on it while the
+	// server is live (tests and training loops do).
+	n := s.replicasFor()
+	pool := make(chan *models.Composite, n)
+	for i := 0; i < n; i++ {
+		pool <- m.CloneForInference()
+	}
+	s.entries[name] = &entry{model: m, bundle: bundle, replicas: pool}
 	return nil
 }
 
@@ -128,23 +169,22 @@ func (s *Server) lookup(name string) (*entry, bool) {
 	return e, ok
 }
 
-// Stats snapshots per-model serving counters.
+// Stats snapshots per-model serving counters. Counters are read with
+// atomic loads, so a snapshot taken under load is per-field consistent.
 func (s *Server) Stats() []ModelStats {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
 	var out []ModelStats
 	for name, e := range s.entries {
-		e.mu.Lock()
 		st := ModelStats{
 			Name:            name,
-			InferRequests:   e.stats.InferRequests,
-			InferErrors:     e.stats.InferErrors,
-			BundleDownloads: e.stats.BundleDownloads,
+			InferRequests:   e.stats.InferRequests.Load(),
+			InferErrors:     e.stats.InferErrors.Load(),
+			BundleDownloads: e.stats.BundleDownloads.Load(),
 		}
-		if ok := e.stats.InferRequests - e.stats.InferErrors; ok > 0 {
-			st.AvgComputeMicros = e.stats.ComputeMicros / ok
+		if ok := st.InferRequests - st.InferErrors; ok > 0 {
+			st.AvgComputeMicros = e.stats.ComputeMicros.Load() / ok
 		}
-		e.mu.Unlock()
 		out = append(out, st)
 	}
 	return out
@@ -174,9 +214,7 @@ func (s *Server) Handler() http.Handler {
 			http.Error(w, fmt.Sprintf("unknown model %q", name), http.StatusNotFound)
 			return
 		}
-		e.mu.Lock()
-		e.stats.BundleDownloads++
-		e.mu.Unlock()
+		e.stats.BundleDownloads.Add(1)
 		w.Header().Set("Content-Type", "application/octet-stream")
 		w.Header().Set("Content-Length", fmt.Sprint(len(e.bundle)))
 		w.Write(e.bundle)
@@ -194,10 +232,8 @@ func (s *Server) Handler() http.Handler {
 		}
 		t, err := collab.ReadTensor(r.Body)
 		if err != nil {
-			e.mu.Lock()
-			e.stats.InferRequests++
-			e.stats.InferErrors++
-			e.mu.Unlock()
+			e.stats.InferRequests.Add(1)
+			e.stats.InferErrors.Add(1)
 			http.Error(w, err.Error(), http.StatusBadRequest)
 			return
 		}
@@ -236,15 +272,15 @@ func logRequests(l *log.Logger, h http.Handler) http.Handler {
 }
 
 // maxInferBatch bounds a single request's batch so one client cannot pin
-// the model lock arbitrarily long.
+// an inference replica arbitrarily long.
 const maxInferBatch = 256
 
-// inferOn runs the main-branch rest on an intermediate tensor. The tensor
-// may be a single CHW sample or a batch (the web client coalesces all
+// inferOn runs the main-branch rest on an intermediate tensor, on a
+// forward context checked out of the entry's replica pool. The tensor may
+// be a single CHW sample or a batch (the web client coalesces all
 // non-confident samples of a frame batch into one request).
 func inferOn(name string, e *entry, t *tensor.Tensor) (InferResponse, error) {
-	m := e.model
-	want := m.SharedOutShape()
+	want := e.model.SharedOutShape()
 	shapeOK := true
 	switch {
 	case t.Rank() == len(want):
@@ -263,21 +299,19 @@ func inferOn(name string, e *entry, t *tensor.Tensor) (InferResponse, error) {
 		}
 	}
 	if !shapeOK {
-		e.mu.Lock()
-		e.stats.InferRequests++
-		e.stats.InferErrors++
-		e.mu.Unlock()
+		e.stats.InferRequests.Add(1)
+		e.stats.InferErrors.Add(1)
 		return InferResponse{}, fmt.Errorf("edge: tensor shape %v does not match intermediate shape %v (batch <= %d)",
 			t.Shape, want, maxInferBatch)
 	}
 
-	e.mu.Lock()
+	m := e.checkout()
 	start := time.Now()
 	logits := m.ForwardMainRest(t, false)
 	elapsed := time.Since(start)
-	e.stats.InferRequests++
-	e.stats.ComputeMicros += elapsed.Microseconds()
-	e.mu.Unlock()
+	e.checkin(m)
+	e.stats.InferRequests.Add(1)
+	e.stats.ComputeMicros.Add(elapsed.Microseconds())
 
 	probs := tensor.Softmax(logits)
 	preds := make([]int, logits.Dim(0))

@@ -64,6 +64,23 @@ type Composite struct {
 	Cfg Config
 }
 
+// CloneForInference returns an eval-mode forward context for the network:
+// a Composite sharing every parameter and running statistic with m but
+// owning private per-layer scratch buffers, so the clone and the original
+// may run eval-mode forward passes on different goroutines concurrently.
+// The edge server's replica pool holds one clone per concurrent inference
+// slot; the added memory per replica is only the scratch footprint (im2col
+// buffers), not the weights.
+func (m *Composite) CloneForInference() *Composite {
+	return &Composite{
+		Name:     m.Name,
+		Shared:   nn.CloneForInference(m.Shared).(*nn.Sequential),
+		MainRest: nn.CloneForInference(m.MainRest).(*nn.Sequential),
+		Binary:   nn.CloneForInference(m.Binary).(*nn.Sequential),
+		Cfg:      m.Cfg,
+	}
+}
+
 // Validate checks internal shape consistency and returns a descriptive
 // error when branch shapes do not line up.
 func (m *Composite) Validate() error {

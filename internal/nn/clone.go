@@ -1,0 +1,45 @@
+package nn
+
+// ForwardContext is implemented by layers whose eval-mode Forward mutates
+// private scratch state (reused im2col buffers and the like). Such layers
+// cannot run concurrent Forward calls on one receiver; CloneForInference
+// returns a copy that shares all *Param tensors and running statistics with
+// the receiver but owns fresh scratch, so the clone and the original may
+// serve eval-mode forwards on different goroutines simultaneously.
+type ForwardContext interface {
+	CloneForInference() Layer
+}
+
+// CloneForInference returns an eval-mode forward context for l: a layer
+// tree sharing every parameter with l but owning private scratch state.
+//
+// Containers (Sequential, Residual) are cloned recursively. Layers
+// implementing ForwardContext provide their own clones. All other layers
+// are shared as-is — their eval-mode Forward must not write receiver state
+// (true for every layer in this package: activation masks, pooling argmax
+// and dropout masks are only recorded when train is set, and batch norm
+// only reads its running statistics at inference).
+//
+// Clones are for inference only: Backward on a clone panics (no training
+// caches), and training Forward calls on clones would race on the shared
+// parameters.
+func CloneForInference(l Layer) Layer {
+	switch t := l.(type) {
+	case *Sequential:
+		layers := make([]Layer, len(t.Layers))
+		for i, inner := range t.Layers {
+			layers[i] = CloneForInference(inner)
+		}
+		return &Sequential{name: t.name, Layers: layers}
+	case *Residual:
+		r := &Residual{name: t.name, Body: CloneForInference(t.Body).(*Sequential), relu: t.relu}
+		if t.Shortcut != nil {
+			r.Shortcut = CloneForInference(t.Shortcut).(*Sequential)
+		}
+		return r
+	case ForwardContext:
+		return t.CloneForInference()
+	default:
+		return l
+	}
+}

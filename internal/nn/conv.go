@@ -28,9 +28,21 @@ type Conv2D struct {
 	// im2col buffer off the garbage collector's back; training passes
 	// reuse lastCols instead, which must survive until Backward. Layers
 	// are therefore not safe for concurrent Forward calls; callers that
-	// share a model across goroutines must serialize (the edge server
-	// does).
+	// share a model across goroutines must either serialize or run each
+	// goroutine on its own CloneForInference copy (the edge server's
+	// replica pool does the latter).
 	scratch []float32
+}
+
+// CloneForInference implements ForwardContext: the clone shares Weight and
+// Bias with the receiver but owns private scratch state, so eval-mode
+// Forward calls on the clone and the original may run concurrently.
+func (c *Conv2D) CloneForInference() Layer {
+	return &Conv2D{
+		name: c.name, InC: c.InC, OutC: c.OutC, KH: c.KH, KW: c.KW,
+		Stride: c.Stride, Pad: c.Pad,
+		Weight: c.Weight, Bias: c.Bias, UseBias: c.UseBias,
+	}
 }
 
 // colsBuffer returns an n-length buffer: the training cache when train is
@@ -108,30 +120,40 @@ func (c *Conv2D) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 	k := c.InC * c.KH * c.KW
 
 	out := tensor.New(n, c.OutC, outH, outW)
-	w2d := c.Weight.Value.Reshape(c.OutC, k)
+	wd := c.Weight.Value.Data // (OutC, K) row-major
 
 	colsAll := c.colsBuffer(n*p*k, train)
-	cols := tensor.FromSlice(colsAll[:p*k], p, k) // reused view, re-pointed per sample
-	for i := 0; i < n; i++ {
-		sampleCols := colsAll[i*p*k : (i+1)*p*k]
-		g.Im2Col(sampleCols, x.Batch(i).Data)
-		cols.Data = sampleCols
-		// (OutC x K) x (P x K)^T = OutC x P, exactly the NCHW output plane.
-		oc := tensor.MatMulTransB(w2d, cols)
-		copy(out.Batch(i).Data, oc.Data)
-	}
-	if c.UseBias {
-		for i := 0; i < n; i++ {
-			ob := out.Batch(i)
-			for ch := 0; ch < c.OutC; ch++ {
-				b := c.Bias.Value.Data[ch]
-				plane := ob.Data[ch*p : (ch+1)*p]
-				for j := range plane {
-					plane[j] += b
+	// Unfold every sample in parallel: chunk i writes only its own
+	// colsAll region.
+	tensor.ParallelFor(n, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			g.Im2Col(colsAll[i*p*k:(i+1)*p*k], x.Batch(i).Data)
+		}
+	})
+	// GEMM across (sample, output channel) rows: each row of the output —
+	// (OutC x K) x (P x K)^T, one NCHW plane — is an independent dot-product
+	// sweep over contiguous memory, so rows parallelize with no shared
+	// writes and a chunking-independent accumulation order.
+	tensor.ParallelFor(n*c.OutC, func(lo, hi int) {
+		for idx := lo; idx < hi; idx++ {
+			i, o := idx/c.OutC, idx%c.OutC
+			cols := colsAll[i*p*k : (i+1)*p*k]
+			wrow := wd[o*k : (o+1)*k]
+			var b float32
+			if c.UseBias {
+				b = c.Bias.Value.Data[o]
+			}
+			plane := out.Data[idx*p : (idx+1)*p]
+			for pos := 0; pos < p; pos++ {
+				crow := cols[pos*k : (pos+1)*k]
+				var s float32
+				for j, wv := range wrow {
+					s += wv * crow[j]
 				}
+				plane[pos] = s + b
 			}
 		}
-	}
+	})
 	if train {
 		c.lastInput = x
 		c.lastCols = colsAll

@@ -1,8 +1,15 @@
 package webclient
 
 import (
+	"bytes"
 	"context"
+	"net/http"
+	"net/http/httptest"
+	"sync"
 	"testing"
+
+	"lcrs/internal/collab"
+	"lcrs/internal/edge"
 )
 
 // When the edge becomes unreachable mid-session, a client with
@@ -39,5 +46,98 @@ func TestFallbackToBinaryOnEdgeOutage(t *testing.T) {
 	}
 	if res.EdgeTime != 0 || res.ServerMicros != 0 {
 		t.Fatalf("degraded result must not report edge timings: %+v", res)
+	}
+}
+
+// Recognize must return the collaborative path's exact predictions while
+// background clients hammer the same edge server through its replica pool,
+// and must still degrade cleanly to the binary branch once that loaded
+// server disappears.
+func TestRecognizeUnderConcurrentEdgeLoad(t *testing.T) {
+	const (
+		loadWorkers = 8
+		samples     = 6
+	)
+	m, test := trainedFixture(t)
+
+	s := edge.NewServer()
+	s.SetReplicas(4) // several live forward contexts even on a 1-CPU host
+	if err := s.Register("lenet-mnist", m); err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(s.Handler())
+	defer srv.Close()
+
+	c := New(srv.URL, srv.Client())
+	ctx := context.Background()
+	// tau=0: every Recognize consults the edge, so the foreground client
+	// contends with the load generators for replicas on each sample.
+	if err := c.LoadModel(ctx, "lenet-mnist", "lenet", fixtureCfg, 0.0); err != nil {
+		t.Fatal(err)
+	}
+
+	// Serial references, computed before any concurrent traffic starts.
+	want := make([]int, samples)
+	for i := range want {
+		x, _ := test.Sample(i)
+		batch := x.Reshape(1, x.Dim(0), x.Dim(1), x.Dim(2))
+		want[i] = m.ForwardMainRest(m.ForwardShared(batch, false), false).Argmax()
+	}
+
+	// Background load: loadWorkers goroutines posting one fixed frame in a
+	// loop until stopped.
+	x0, _ := test.Sample(0)
+	batch0 := x0.Reshape(1, x0.Dim(0), x0.Dim(1), x0.Dim(2))
+	var frame bytes.Buffer
+	if err := collab.WriteTensor(&frame, m.ForwardShared(batch0, false)); err != nil {
+		t.Fatal(err)
+	}
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for w := 0; w < loadWorkers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				resp, err := http.Post(srv.URL+"/v1/infer/lenet-mnist", "application/octet-stream",
+					bytes.NewReader(frame.Bytes()))
+				if err != nil {
+					return // server shutting down is fine for a load generator
+				}
+				resp.Body.Close()
+			}
+		}()
+	}
+
+	for i := 0; i < samples; i++ {
+		x, _ := test.Sample(i)
+		res, err := c.Recognize(ctx, x)
+		if err != nil {
+			t.Fatalf("Recognize under load: %v", err)
+		}
+		if res.Degraded {
+			t.Fatal("live loaded server must not degrade the client")
+		}
+		if !res.Exited && res.Pred != want[i] {
+			t.Fatalf("sample %d: pred %d under load, serial path predicts %d", i, res.Pred, want[i])
+		}
+	}
+
+	close(stop)
+	wg.Wait()
+	srv.Close()
+
+	c.FallbackToBinary = true
+	res, err := c.Recognize(ctx, x0)
+	if err != nil {
+		t.Fatalf("fallback after outage: %v", err)
+	}
+	if !res.Degraded {
+		t.Fatal("result after outage must be marked degraded")
 	}
 }
