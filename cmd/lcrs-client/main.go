@@ -32,6 +32,7 @@ func main() {
 		n      = flag.Int("n", 20, "number of samples to recognize")
 		seed   = flag.Int64("seed", 0, "sample generation seed; 0 reuses the checkpoint's seed (the synthetic class prototypes are seed-defined, so a different seed is a different task)")
 		tau    = flag.Float64("tau", -1, "override exit threshold (default: from checkpoint header)")
+		codec  = flag.String("codec", "raw", "preferred offload wire codec (raw, f16, q8..q2); negotiated with the server, falls back to raw")
 	)
 	flag.Parse()
 	if *ckpt == "" {
@@ -76,9 +77,20 @@ func main() {
 	}
 	loadTime, loadBytes := c.LoadStats()
 	fmt.Printf("bundle loaded: %d bytes in %v (tau %.4f)\n", loadBytes, loadTime.Round(time.Microsecond), threshold)
+	chosen, err := c.NegotiateCodec(ctx, *codec)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "lcrs-client:", err)
+		os.Exit(1)
+	}
+	if chosen != *codec {
+		fmt.Printf("codec %s not offered by server, using %s\n", *codec, chosen)
+	} else {
+		fmt.Printf("offload codec: %s\n", chosen)
+	}
 
 	var exits, correct int
 	var totalClient, totalEdge time.Duration
+	var totalPayload int
 	for i := 0; i < ds.Len(); i++ {
 		x, label := ds.Sample(i)
 		res, err := c.Recognize(ctx, x)
@@ -96,12 +108,14 @@ func main() {
 		}
 		totalClient += res.ClientTime
 		totalEdge += res.EdgeTime
+		totalPayload += res.PayloadBytes
 		fmt.Printf("sample %2d: pred %d (label %d) via %-6s entropy %.4f client %v edge %v\n",
 			i, res.Pred, label, path, res.Entropy,
 			res.ClientTime.Round(time.Microsecond), res.EdgeTime.Round(time.Microsecond))
 	}
-	fmt.Printf("\nsession: %d samples, exit rate %.0f%%, accuracy %.0f%%, avg client %v, avg edge %v\n",
+	fmt.Printf("\nsession: %d samples, exit rate %.0f%%, accuracy %.0f%%, avg client %v, avg edge %v, offload payload %d bytes (%s)\n",
 		ds.Len(), float64(exits)/float64(ds.Len())*100, float64(correct)/float64(ds.Len())*100,
 		(totalClient / time.Duration(ds.Len())).Round(time.Microsecond),
-		(totalEdge / time.Duration(ds.Len())).Round(time.Microsecond))
+		(totalEdge / time.Duration(ds.Len())).Round(time.Microsecond),
+		totalPayload, c.Codec())
 }

@@ -41,6 +41,7 @@ func main() {
 	var mf modelFlags
 	addr := flag.String("addr", ":8080", "listen address")
 	verbose := flag.Bool("verbose", false, "log every request")
+	codecs := flag.String("codecs", "", "comma-separated offload codecs to accept (e.g. raw,f16,q8); raw is always accepted; empty accepts all")
 	flag.Var(&mf, "model", "name=checkpoint.lcrs (repeatable)")
 	flag.Parse()
 	if len(mf) == 0 {
@@ -49,6 +50,16 @@ func main() {
 	}
 
 	srv := edge.NewServer()
+	if *codecs != "" {
+		names := strings.Split(*codecs, ",")
+		for i := range names {
+			names[i] = strings.TrimSpace(names[i])
+		}
+		if err := srv.SetCodecs(names...); err != nil {
+			fmt.Fprintln(os.Stderr, "lcrs-edge:", err)
+			os.Exit(2)
+		}
+	}
 	if *verbose {
 		srv.SetLogger(log.New(os.Stderr, "edge ", log.LstdFlags|log.Lmicroseconds))
 	}

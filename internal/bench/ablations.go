@@ -19,6 +19,7 @@ func Ablations() []Experiment {
 		{ID: "ablation-branches", Title: "One vs two binary branches (§IV-D1)", Run: (*Runner).AblationBranches},
 		{ID: "ablation-tau", Title: "Exit threshold frontier (accuracy vs exit rate vs latency)", Run: (*Runner).AblationTau},
 		{ID: "ablation-links", Title: "LCRS latency across link profiles", Run: (*Runner).AblationLinks},
+		{ID: "offload-bytes", Title: "Offload wire codec: payload bytes vs accuracy vs latency", Run: (*Runner).OffloadBytes},
 	}, moreAblations()...)
 }
 

@@ -1,6 +1,7 @@
 package bench
 
 import (
+	"fmt"
 	"strings"
 	"testing"
 )
@@ -8,7 +9,8 @@ import (
 func TestAblationRegistry(t *testing.T) {
 	want := []string{
 		"ablation-location", "ablation-branches", "ablation-tau",
-		"ablation-links", "ablation-concurrency", "ablation-energy", "ablation-bits",
+		"ablation-links", "offload-bytes",
+		"ablation-concurrency", "ablation-energy", "ablation-bits",
 		"throughput",
 	}
 	got := Ablations()
@@ -125,5 +127,34 @@ func TestThroughputQuick(t *testing.T) {
 	// The serial row anchors the speedup column at exactly 1.00x.
 	if !strings.Contains(out, "1.00x") {
 		t.Fatalf("missing serial speedup anchor:\n%s", out)
+	}
+}
+
+// TestOffloadBytesQuick checks the codec sweep prints the acceptance
+// criteria of the offload codec work: payload bytes per codec, the
+// accuracy delta alongside, and at least a 3x reduction for q8 vs raw.
+func TestOffloadBytesQuick(t *testing.T) {
+	r := quickRunner()
+	if err := r.OffloadBytes(); err != nil {
+		t.Fatal(err)
+	}
+	out := output(r)
+	for _, want := range []string{"Offload codec sweep", "Frame(KB)", "AccDelta(pp)", "Top1 match(%)"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("missing %q:\n%s", want, out)
+		}
+	}
+	// The summary line carries the measured q8 reduction; parse and check
+	// the >= 3x acceptance bar.
+	idx := strings.Index(out, "q8 payload reduction vs raw: ")
+	if idx < 0 {
+		t.Fatalf("missing q8 reduction summary:\n%s", out)
+	}
+	var ratio float64
+	if _, err := fmt.Sscanf(out[idx:], "q8 payload reduction vs raw: %fx", &ratio); err != nil {
+		t.Fatalf("parse reduction: %v\n%s", err, out)
+	}
+	if ratio < 3 {
+		t.Fatalf("q8 reduction %.2fx below the 3x bar:\n%s", ratio, out)
 	}
 }

@@ -40,6 +40,10 @@ type Config struct {
 	SessionSamples int
 	// Seed drives data generation, initialization and jitter.
 	Seed int64
+	// Codec names the offload wire codec for session experiments ("raw",
+	// "f16", "q8", ...); empty keeps the raw v1 frames and the historical
+	// latency accounting.
+	Codec string
 	// Quick restricts sweeps to a small subset so the full suite runs in
 	// CI time; the lcrs-bench binary defaults to the full sweep.
 	Quick bool

@@ -33,6 +33,13 @@ func (r *Runner) lcrsSession(arch, ds string, n int) (collab.SessionStats, error
 		return collab.SessionStats{}, err
 	}
 	rt.CostRef = ref
+	if r.Cfg.Codec != "" {
+		codec, err := collab.CodecByName(r.Cfg.Codec)
+		if err != nil {
+			return collab.SessionStats{}, err
+		}
+		rt.Codec = codec
+	}
 	if n > tm.test.Len() {
 		n = tm.test.Len()
 	}

@@ -5,119 +5,239 @@ import (
 	"fmt"
 	"io"
 	"math"
+	"sync"
 
 	"lcrs/internal/tensor"
 )
 
 // Wire protocol between the web client and the edge server. Tensors travel
-// as little-endian frames: rank, dims, float32 payload. The frame layout is
-// deliberately minimal — the intermediate activation dominates the payload
-// and its size is exactly what the paper's communication-cost tables count.
+// as little-endian frames; the intermediate activation dominates the
+// payload and its size is exactly what the paper's communication-cost
+// tables count.
+//
+// Two frame versions coexist:
+//
+//	v1  magic, rank, dims, float32 payload — the original protocol, still
+//	    written for the raw codec so old peers keep interoperating.
+//	v2  magic2, codec tag, rank, dims, codec payload — written for every
+//	    non-raw codec (see codec.go).
+//
+// The reader accepts both transparently and reports which codec carried
+// the payload.
 
 const (
-	frameMagic = uint32(0x4C435446) // "LCTF"
-	maxRank    = 8
-	maxElems   = 64 << 20 // 256 MB of float32 — far above any real tensor
+	frameMagic   = uint32(0x4C435446) // "LCTF", v1
+	frameMagicV2 = uint32(0x4C435632) // "LCV2", codec-tagged
+	maxRank      = 8
+	maxElems     = 64 << 20 // 256 MB of float32 — far above any real tensor
 )
 
-// WriteTensor encodes t as a frame on w.
+// payloadChunkElems is the unit in which encoders and decoders move
+// payload data: 64 KiB of float32 per step, so a frame whose header claims
+// the maximum element count but whose body is truncated allocates only in
+// proportion to the bytes that actually arrived.
+const payloadChunkElems = 16 << 10
+
+// scratchPool recycles the per-call encode buffer, so steady-state frame
+// encoding allocates nothing for the payload.
+var scratchPool = sync.Pool{
+	New: func() any {
+		b := make([]byte, payloadChunkElems*4)
+		return &b
+	},
+}
+
+func getScratch() []byte  { return *scratchPool.Get().(*[]byte) }
+func putScratch(b []byte) { scratchPool.Put(&b) }
+
+// WriteTensor encodes t as a v1 raw frame on w — byte-identical to the
+// original protocol (the golden-frame test pins this).
 func WriteTensor(w io.Writer, t *tensor.Tensor) error {
+	return WriteTensorCodec(w, t, Raw)
+}
+
+// WriteTensorCodec encodes t on w with the given codec. The raw codec (or
+// nil) writes a v1 frame; every other codec writes a codec-tagged v2 frame.
+func WriteTensorCodec(w io.Writer, t *tensor.Tensor, c Codec) error {
+	if c == nil {
+		c = Raw
+	}
 	if len(t.Shape) > maxRank {
 		return fmt.Errorf("collab: tensor rank %d exceeds protocol max %d", len(t.Shape), maxRank)
 	}
-	hdr := []uint32{frameMagic, uint32(len(t.Shape))}
-	for _, v := range hdr {
-		if err := binary.Write(w, binary.LittleEndian, v); err != nil {
-			return fmt.Errorf("collab: write frame header: %w", err)
-		}
+	var hdr [12 + 4*maxRank]byte
+	n := 0
+	put := func(v uint32) {
+		binary.LittleEndian.PutUint32(hdr[n:], v)
+		n += 4
 	}
+	if c.ID() == CodecRaw {
+		put(frameMagic)
+	} else {
+		put(frameMagicV2)
+		put(uint32(c.ID()))
+	}
+	put(uint32(len(t.Shape)))
 	for _, d := range t.Shape {
 		if d <= 0 || d > math.MaxInt32 {
 			return fmt.Errorf("collab: dimension %d not encodable", d)
 		}
-		if err := binary.Write(w, binary.LittleEndian, uint32(d)); err != nil {
-			return fmt.Errorf("collab: write frame dims: %w", err)
-		}
+		put(uint32(d))
 	}
-	if err := binary.Write(w, binary.LittleEndian, t.Data); err != nil {
+	if _, err := w.Write(hdr[:n]); err != nil {
+		return fmt.Errorf("collab: write frame header: %w", err)
+	}
+	if err := c.encodePayload(w, t); err != nil {
 		return fmt.Errorf("collab: write frame payload: %w", err)
 	}
 	return nil
 }
 
-// ReadTensor decodes one frame from r. It rejects malformed and
-// implausibly large frames, and grows the payload buffer only as bytes
-// actually arrive, so a broken or malicious peer cannot trigger huge
-// allocations with a header that promises more data than it sends.
+// ReadTensor decodes one frame (v1 or v2, any codec) from r.
 func ReadTensor(r io.Reader) (*tensor.Tensor, error) {
-	var magic, rank uint32
-	if err := binary.Read(r, binary.LittleEndian, &magic); err != nil {
-		return nil, fmt.Errorf("collab: read frame magic: %w", err)
+	t, _, err := ReadFrame(r)
+	return t, err
+}
+
+// ReadFrame decodes one frame from r and reports the codec that carried
+// it. It rejects malformed and implausibly large frames, and grows
+// buffers only as payload bytes actually arrive, so a broken or malicious
+// peer cannot trigger huge allocations with a header that promises more
+// data than it sends.
+func ReadFrame(r io.Reader) (*tensor.Tensor, CodecID, error) {
+	var u32 [4]byte
+	readU32 := func(what string) (uint32, error) {
+		if _, err := io.ReadFull(r, u32[:]); err != nil {
+			return 0, fmt.Errorf("collab: read frame %s: %w", what, err)
+		}
+		return binary.LittleEndian.Uint32(u32[:]), nil
 	}
-	if magic != frameMagic {
-		return nil, fmt.Errorf("collab: bad frame magic 0x%08x", magic)
+
+	magic, err := readU32("magic")
+	if err != nil {
+		return nil, 0, err
 	}
-	if err := binary.Read(r, binary.LittleEndian, &rank); err != nil {
-		return nil, fmt.Errorf("collab: read frame rank: %w", err)
+	codec := Raw
+	switch magic {
+	case frameMagic:
+	case frameMagicV2:
+		tag, err := readU32("codec")
+		if err != nil {
+			return nil, 0, err
+		}
+		if tag > 0xff {
+			return nil, 0, fmt.Errorf("collab: codec tag 0x%08x out of range", tag)
+		}
+		codec, err = CodecByID(CodecID(tag))
+		if err != nil {
+			return nil, 0, err
+		}
+	default:
+		return nil, 0, fmt.Errorf("collab: bad frame magic 0x%08x", magic)
+	}
+
+	rank, err := readU32("rank")
+	if err != nil {
+		return nil, 0, err
 	}
 	if rank == 0 || rank > maxRank {
-		return nil, fmt.Errorf("collab: frame rank %d out of range", rank)
+		return nil, 0, fmt.Errorf("collab: frame rank %d out of range", rank)
 	}
 	shape := make([]int, rank)
 	elems := 1
 	for i := range shape {
-		var d uint32
-		if err := binary.Read(r, binary.LittleEndian, &d); err != nil {
-			return nil, fmt.Errorf("collab: read frame dims: %w", err)
+		d, err := readU32("dims")
+		if err != nil {
+			return nil, 0, err
 		}
 		if d == 0 {
-			return nil, fmt.Errorf("collab: zero dimension in frame")
+			return nil, 0, fmt.Errorf("collab: zero dimension in frame")
 		}
 		shape[i] = int(d)
 		elems *= int(d)
 		if elems > maxElems {
-			return nil, fmt.Errorf("collab: frame of %d elements exceeds limit", elems)
+			return nil, 0, fmt.Errorf("collab: frame of %d elements exceeds limit", elems)
 		}
 	}
-	data, err := readFloats(r, elems)
+	t, err := codec.decodePayload(r, shape)
 	if err != nil {
-		return nil, fmt.Errorf("collab: read frame payload: %w", err)
+		return nil, 0, fmt.Errorf("collab: read frame payload (%s): %w", codec.Name(), err)
 	}
-	return tensor.FromSlice(data, shape...), nil
+	return t, codec.ID(), nil
 }
 
-// payloadChunkElems is the unit in which ReadTensor grows its payload
-// buffer: 64 KiB of float32 per step, so a frame whose header claims the
-// maximum element count but whose body is truncated allocates only in
-// proportion to the bytes that actually arrived.
-const payloadChunkElems = 16 << 10
-
-// readFloats reads exactly n little-endian float32 values from r. The
-// destination grows chunk by chunk as data arrives instead of being
-// allocated up front from the (untrusted) header.
-func readFloats(r io.Reader, n int) ([]float32, error) {
-	first := n
-	if first > payloadChunkElems {
-		first = payloadChunkElems
+// firstAlloc caps an initial buffer capacity at one payload chunk, the
+// "grow as bytes arrive" policy of the decoders.
+func firstAlloc(n int) int {
+	if n > payloadChunkElems {
+		return payloadChunkElems
 	}
+	return n
+}
+
+// readFloats reads exactly n little-endian float32 values from r with
+// direct math.Float32frombits conversion (no reflection). The destination
+// grows chunk by chunk as data arrives instead of being allocated up front
+// from the (untrusted) header.
+func readFloats(r io.Reader, n int) ([]float32, error) {
+	first := firstAlloc(n)
 	data := make([]float32, 0, first)
-	scratch := make([]float32, first)
+	scratch := make([]byte, first*4)
 	for len(data) < n {
 		step := n - len(data)
 		if step > payloadChunkElems {
 			step = payloadChunkElems
 		}
-		chunk := scratch[:step]
-		if err := binary.Read(r, binary.LittleEndian, chunk); err != nil {
+		b := scratch[:step*4]
+		if _, err := io.ReadFull(r, b); err != nil {
 			return nil, err
 		}
-		data = append(data, chunk...)
+		for i := 0; i < step; i++ {
+			data = append(data, math.Float32frombits(binary.LittleEndian.Uint32(b[i*4:])))
+		}
 	}
 	return data, nil
 }
 
-// FrameBytes returns the encoded size of a tensor frame without encoding
-// it, for cost accounting.
+// readChunked reads exactly n bytes from r, growing the destination only
+// as bytes arrive (64 KiB steps), so a truncated frame allocates in
+// proportion to the bytes actually received, not the header's claim.
+func readChunked(r io.Reader, n int) ([]byte, error) {
+	const chunk = 64 << 10
+	first := n
+	if first > chunk {
+		first = chunk
+	}
+	buf := make([]byte, 0, first)
+	scratch := make([]byte, first)
+	for len(buf) < n {
+		step := n - len(buf)
+		if step > chunk {
+			step = chunk
+		}
+		if _, err := io.ReadFull(r, scratch[:step]); err != nil {
+			return nil, err
+		}
+		buf = append(buf, scratch[:step]...)
+	}
+	return buf, nil
+}
+
+// FrameBytes returns the encoded size of a v1 raw tensor frame without
+// encoding it, for cost accounting.
 func FrameBytes(t *tensor.Tensor) int64 {
-	return int64(8 + 4*len(t.Shape) + 4*t.Len())
+	return FrameBytesFor(t.Shape, Raw)
+}
+
+// FrameBytesFor returns the full encoded frame size (header + payload) of
+// a tensor shape under codec c, for cost accounting. A nil codec means raw.
+func FrameBytesFor(shape []int, c Codec) int64 {
+	if c == nil {
+		c = Raw
+	}
+	header := int64(8 + 4*len(shape)) // v1: magic, rank, dims
+	if c.ID() != CodecRaw {
+		header += 4 // v2 codec tag
+	}
+	return header + c.PayloadBytes(shape)
 }

@@ -8,6 +8,7 @@ package edge
 import (
 	"encoding/json"
 	"fmt"
+	"io"
 	"log"
 	"net/http"
 	"runtime"
@@ -34,17 +35,25 @@ type InferResponse struct {
 	Probs []float32 `json:"probs"`
 	// ServerMicros is the measured server-side compute time.
 	ServerMicros int64 `json:"server_micros"`
+	// Codec names the wire codec the request's frame was encoded with.
+	Codec string `json:"codec,omitempty"`
+	// PayloadBytes is the size of the request frame as received.
+	PayloadBytes int64 `json:"payload_bytes,omitempty"`
 }
 
-// ModelInfo describes one hosted model in the listing endpoint.
+// ModelInfo describes one hosted model in the listing endpoint. Codecs
+// advertises the wire codecs the server accepts for offload frames; a
+// client picks one (NegotiateCodec in internal/webclient) and encodes the
+// conv1 activation with it before POSTing.
 type ModelInfo struct {
-	Name        string `json:"name"`
-	Arch        string `json:"arch"`
-	Classes     int    `json:"classes"`
-	BundleBytes int    `json:"bundle_bytes"`
-	InC         int    `json:"in_c"`
-	InH         int    `json:"in_h"`
-	InW         int    `json:"in_w"`
+	Name        string   `json:"name"`
+	Arch        string   `json:"arch"`
+	Classes     int      `json:"classes"`
+	BundleBytes int      `json:"bundle_bytes"`
+	InC         int      `json:"in_c"`
+	InH         int      `json:"in_h"`
+	InW         int      `json:"in_w"`
+	Codecs      []string `json:"codecs"`
 }
 
 type entry struct {
@@ -74,6 +83,7 @@ type modelStats struct {
 	InferErrors     atomic.Int64
 	BundleDownloads atomic.Int64
 	ComputeMicros   atomic.Int64
+	PayloadBytes    atomic.Int64
 }
 
 // ModelStats is the JSON form of one model's serving counters.
@@ -85,6 +95,9 @@ type ModelStats struct {
 	// AvgComputeMicros is the mean server-side compute per successful
 	// inference.
 	AvgComputeMicros int64 `json:"avg_compute_micros"`
+	// PayloadBytes is the total offload frame bytes received — the number
+	// the paper's communication-cost tables count, as served.
+	PayloadBytes int64 `json:"payload_bytes"`
 }
 
 // Server hosts models behind an http.Handler.
@@ -93,6 +106,9 @@ type Server struct {
 	entries  map[string]*entry
 	logger   *log.Logger
 	replicas int
+	// codecs is the set of accepted offload wire codec ids; nil means
+	// every codec internal/collab supports.
+	codecs map[collab.CodecID]bool
 }
 
 // NewServer creates an empty edge server. Each registered model gets a
@@ -120,6 +136,50 @@ func (s *Server) replicasFor() int {
 		return s.replicas
 	}
 	return runtime.NumCPU()
+}
+
+// SetCodecs restricts the offload wire codecs the server accepts (and
+// advertises) to the named ones. The raw codec is always accepted so v1
+// clients keep working. Passing no names restores the default: every
+// codec internal/collab supports.
+func (s *Server) SetCodecs(names ...string) error {
+	if len(names) == 0 {
+		s.mu.Lock()
+		s.codecs = nil
+		s.mu.Unlock()
+		return nil
+	}
+	set := map[collab.CodecID]bool{collab.CodecRaw: true}
+	for _, name := range names {
+		c, err := collab.CodecByName(name)
+		if err != nil {
+			return fmt.Errorf("edge: %w", err)
+		}
+		set[c.ID()] = true
+	}
+	s.mu.Lock()
+	s.codecs = set
+	s.mu.Unlock()
+	return nil
+}
+
+// codecAccepted reports whether frames encoded with id are served.
+func (s *Server) codecAccepted(id collab.CodecID) bool {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.codecs == nil || s.codecs[id]
+}
+
+// codecNamesLocked lists the advertised codec names in registry order.
+// Callers must hold s.mu (either mode).
+func (s *Server) codecNamesLocked() []string {
+	var names []string
+	for _, c := range collab.Codecs() {
+		if s.codecs == nil || s.codecs[c.ID()] {
+			names = append(names, c.Name())
+		}
+	}
+	return names
 }
 
 // Register adds a trained model under the given name, precomputing its
@@ -151,12 +211,14 @@ func (s *Server) Register(name string, m *models.Composite) error {
 func (s *Server) Models() []ModelInfo {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
+	codecs := s.codecNamesLocked()
 	var out []ModelInfo
 	for name, e := range s.entries {
 		out = append(out, ModelInfo{
 			Name: name, Arch: e.model.Name, Classes: e.model.Cfg.Classes,
 			BundleBytes: len(e.bundle),
 			InC:         e.model.Cfg.InC, InH: e.model.Cfg.InH, InW: e.model.Cfg.InW,
+			Codecs:      codecs,
 		})
 	}
 	return out
@@ -181,6 +243,7 @@ func (s *Server) Stats() []ModelStats {
 			InferRequests:   e.stats.InferRequests.Load(),
 			InferErrors:     e.stats.InferErrors.Load(),
 			BundleDownloads: e.stats.BundleDownloads.Load(),
+			PayloadBytes:    e.stats.PayloadBytes.Load(),
 		}
 		if ok := st.InferRequests - st.InferErrors; ok > 0 {
 			st.AvgComputeMicros = e.stats.ComputeMicros.Load() / ok
@@ -230,24 +293,51 @@ func (s *Server) Handler() http.Handler {
 			http.Error(w, fmt.Sprintf("unknown model %q", name), http.StatusNotFound)
 			return
 		}
-		t, err := collab.ReadTensor(r.Body)
+		body := &countingReader{r: r.Body}
+		t, codecID, err := collab.ReadFrame(body)
 		if err != nil {
 			e.stats.InferRequests.Add(1)
 			e.stats.InferErrors.Add(1)
 			http.Error(w, err.Error(), http.StatusBadRequest)
 			return
 		}
+		if !s.codecAccepted(codecID) {
+			e.stats.InferRequests.Add(1)
+			e.stats.InferErrors.Add(1)
+			http.Error(w, fmt.Sprintf("codec 0x%02x not enabled on this server", uint8(codecID)),
+				http.StatusUnsupportedMediaType)
+			return
+		}
+		e.stats.PayloadBytes.Add(body.n)
 		resp, err := inferOn(name, e, t)
 		if err != nil {
 			http.Error(w, err.Error(), http.StatusBadRequest)
 			return
 		}
+		if c, cerr := collab.CodecByID(codecID); cerr == nil {
+			resp.Codec = c.Name()
+		}
+		resp.PayloadBytes = body.n
 		writeJSON(w, http.StatusOK, resp)
 	})
 	if s.logger != nil {
 		return logRequests(s.logger, mux)
 	}
 	return mux
+}
+
+// countingReader counts bytes as the frame decoder consumes them, so the
+// server can attribute received payload bytes per model without buffering
+// the body.
+type countingReader struct {
+	r io.Reader
+	n int64
+}
+
+func (c *countingReader) Read(p []byte) (int, error) {
+	n, err := c.r.Read(p)
+	c.n += int64(n)
+	return n, err
 }
 
 // statusRecorder captures the response status for request logging.

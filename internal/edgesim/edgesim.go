@@ -15,6 +15,7 @@ import (
 	"sort"
 	"time"
 
+	"lcrs/internal/netsim"
 	"lcrs/internal/tensor"
 )
 
@@ -29,10 +30,27 @@ type Workload struct {
 	OffloadFraction float64
 	// ServiceTime is the server compute per offloaded request.
 	ServiceTime time.Duration
+	// Link and PayloadBytes, when both set, model the uplink: each
+	// offloaded request pays the transfer of PayloadBytes over Link before
+	// it can queue, so sojourn reflects the wire codec's frame size (the
+	// transfer occupies the client's radio, not the server, so it does not
+	// add to server busy time).
+	Link *netsim.Link
+	// PayloadBytes is the encoded offload frame size per request.
+	PayloadBytes int64
 	// Duration is the simulated wall-clock span.
 	Duration time.Duration
 	// Seed drives arrival randomness.
 	Seed int64
+}
+
+// TransferTime returns the per-request uplink cost of the workload: zero
+// without a link profile, otherwise PayloadBytes over the link's uplink.
+func (w Workload) TransferTime() time.Duration {
+	if w.Link == nil || w.PayloadBytes <= 0 {
+		return 0
+	}
+	return w.Link.UpTime(w.PayloadBytes)
 }
 
 // Validate reports nonsensical workloads.
@@ -63,7 +81,10 @@ type Result struct {
 	Utilization float64
 	// MeanWait and P95Wait are queueing delays (excluding service).
 	MeanWait, P95Wait time.Duration
-	// MeanSojourn is queueing plus service.
+	// Transfer is the per-request uplink transfer time (zero when the
+	// workload has no link profile).
+	Transfer time.Duration
+	// MeanSojourn is uplink transfer plus queueing plus service.
 	MeanSojourn time.Duration
 	// OfferedLoad is arrival rate x service time — above 1 the queue is
 	// unstable and waits grow with the simulated duration.
@@ -131,7 +152,8 @@ func Run(w Workload) (Result, error) {
 	mean := sum / float64(len(waits))
 	res.MeanWait = time.Duration(mean * float64(time.Second))
 	res.P95Wait = time.Duration(waits[(len(waits)*95)/100] * float64(time.Second))
-	res.MeanSojourn = res.MeanWait + w.ServiceTime
+	res.Transfer = w.TransferTime()
+	res.MeanSojourn = res.Transfer + res.MeanWait + w.ServiceTime
 	return res, nil
 }
 

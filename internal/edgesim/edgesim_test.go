@@ -4,6 +4,8 @@ import (
 	"math"
 	"testing"
 	"time"
+
+	"lcrs/internal/netsim"
 )
 
 func baseWorkload() Workload {
@@ -140,5 +142,48 @@ func TestWaitGrowsWithLoad(t *testing.T) {
 			t.Fatalf("mean wait did not grow with load: %v after %v", res.MeanWait, prev)
 		}
 		prev = res.MeanWait
+	}
+}
+
+// A link profile plus payload size must add exactly the uplink transfer to
+// the sojourn (and only the sojourn — the server queue is untouched), so
+// smaller offload frames shorten end-to-end latency proportionally.
+func TestTransferAddsToSojourn(t *testing.T) {
+	bare := baseWorkload()
+	noLink, err := Run(bare)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if noLink.Transfer != 0 {
+		t.Fatalf("transfer without link = %v", noLink.Transfer)
+	}
+
+	withLink := bare
+	withLink.Link = netsim.PaperFourG()
+	withLink.PayloadBytes = 96 << 10
+	res, err := Run(withLink)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantTransfer := withLink.Link.UpTime(withLink.PayloadBytes)
+	if res.Transfer != wantTransfer {
+		t.Fatalf("transfer %v, want %v", res.Transfer, wantTransfer)
+	}
+	if res.MeanSojourn != noLink.MeanSojourn+wantTransfer {
+		t.Fatalf("sojourn %v, want %v + %v", res.MeanSojourn, noLink.MeanSojourn, wantTransfer)
+	}
+	if res.MeanWait != noLink.MeanWait {
+		t.Fatalf("queue wait changed with link: %v vs %v", res.MeanWait, noLink.MeanWait)
+	}
+
+	// A quarter-size frame (q8 vs raw) shrinks the sojourn.
+	smaller := withLink
+	smaller.PayloadBytes = withLink.PayloadBytes / 4
+	small, err := Run(smaller)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if small.MeanSojourn >= res.MeanSojourn {
+		t.Fatalf("smaller payload sojourn %v not below %v", small.MeanSojourn, res.MeanSojourn)
 	}
 }

@@ -58,9 +58,10 @@ func (c *Client) RecognizeBatch(ctx context.Context, xs *tensor.Tensor) ([]Resul
 		copy(gather.Data[j*per:(j+1)*per], shared.Batch(idx).Data)
 	}
 	var buf bytes.Buffer
-	if err := collab.WriteTensor(&buf, gather); err != nil {
+	if err := collab.WriteTensorCodec(&buf, gather, c.wireCodec()); err != nil {
 		return nil, fmt.Errorf("webclient: encode batch intermediate: %w", err)
 	}
+	payloadPer := buf.Len() / len(pending)
 	edgeStart := time.Now()
 	ir, err := c.edgeInfer(ctx, &buf)
 	if err != nil {
@@ -82,6 +83,7 @@ func (c *Client) RecognizeBatch(ctx context.Context, xs *tensor.Tensor) ([]Resul
 		results[idx].Pred = ir.Preds[j]
 		results[idx].EdgeTime = edgeTime
 		results[idx].ServerMicros = ir.ServerMicros
+		results[idx].PayloadBytes = payloadPer
 	}
 	return results, nil
 }

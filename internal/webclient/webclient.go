@@ -36,6 +36,7 @@ type Client struct {
 	tau       float64
 	loadTime  time.Duration
 	loadBytes int
+	codec     collab.Codec // offload wire codec; nil means raw (v1 frames)
 
 	// FallbackToBinary makes Recognize degrade gracefully: when the edge
 	// server is unreachable (or errors), the binary branch's local answer
@@ -119,6 +120,64 @@ func (c *Client) LoadModel(ctx context.Context, name, arch string, cfg models.Co
 // LoadStats reports the bundle download: wall-clock time and payload size.
 func (c *Client) LoadStats() (time.Duration, int) { return c.loadTime, c.loadBytes }
 
+// SetCodec selects the wire codec used to encode the conv1 activation on
+// offload requests ("raw", "f16", "q8", ...; empty restores raw). The
+// choice trades uplink bytes against reconstruction error — see the codec
+// documentation in internal/collab.
+func (c *Client) SetCodec(name string) error {
+	codec, err := collab.CodecByName(name)
+	if err != nil {
+		return fmt.Errorf("webclient: %w", err)
+	}
+	c.codec = codec
+	return nil
+}
+
+// Codec reports the name of the currently selected wire codec.
+func (c *Client) Codec() string { return c.wireCodec().Name() }
+
+// wireCodec returns the selected codec, defaulting to raw.
+func (c *Client) wireCodec() collab.Codec {
+	if c.codec == nil {
+		return collab.Raw
+	}
+	return c.codec
+}
+
+// NegotiateCodec selects preferred if the server advertises it for the
+// loaded model, and falls back to raw otherwise. It returns the name of
+// the codec that ended up selected. A model must be loaded first (the
+// advertisement travels in the model listing metadata).
+func (c *Client) NegotiateCodec(ctx context.Context, preferred string) (string, error) {
+	if c.modelName == "" {
+		return "", fmt.Errorf("webclient: negotiate codec: no model loaded")
+	}
+	if _, err := collab.CodecByName(preferred); err != nil {
+		return "", fmt.Errorf("webclient: %w", err)
+	}
+	infos, err := c.Models(ctx)
+	if err != nil {
+		return "", fmt.Errorf("webclient: negotiate codec: %w", err)
+	}
+	for _, info := range infos {
+		if info.Name != c.modelName {
+			continue
+		}
+		for _, name := range info.Codecs {
+			if name == preferred {
+				if err := c.SetCodec(preferred); err != nil {
+					return "", err
+				}
+				return preferred, nil
+			}
+		}
+	}
+	if err := c.SetCodec("raw"); err != nil {
+		return "", err
+	}
+	return "raw", nil
+}
+
 // Result is one recognition outcome.
 type Result struct {
 	// Pred is the predicted class index.
@@ -133,6 +192,9 @@ type Result struct {
 	EdgeTime time.Duration
 	// ServerMicros is the server-reported compute time (zero when exited).
 	ServerMicros int64
+	// PayloadBytes is the encoded offload frame size actually sent (zero
+	// when exited) — the bytes-on-wire the codec selection controls.
+	PayloadBytes int
 	// Degraded reports that the edge was needed but unreachable and the
 	// binary branch's answer was returned instead (FallbackToBinary).
 	Degraded bool
@@ -160,9 +222,10 @@ func (c *Client) Recognize(ctx context.Context, x *tensor.Tensor) (Result, error
 	}
 
 	var buf bytes.Buffer
-	if err := collab.WriteTensor(&buf, shared); err != nil {
+	if err := collab.WriteTensorCodec(&buf, shared, c.wireCodec()); err != nil {
 		return Result{}, fmt.Errorf("webclient: encode intermediate: %w", err)
 	}
+	res.PayloadBytes = buf.Len()
 	edgeStart := time.Now()
 	ir, err := c.edgeInfer(ctx, &buf)
 	if err != nil {
