@@ -42,6 +42,8 @@ func main() {
 	addr := flag.String("addr", ":8080", "listen address")
 	verbose := flag.Bool("verbose", false, "log every request")
 	codecs := flag.String("codecs", "", "comma-separated offload codecs to accept (e.g. raw,f16,q8); raw is always accepted; empty accepts all")
+	batchMax := flag.Int("batch-max", 0, "coalesce up to this many concurrent infer requests into one forward (0 or 1 disables batching)")
+	batchWait := flag.Duration("batch-wait", edge.DefaultBatchWait, "how long a non-full batch waits for stragglers before firing")
 	flag.Var(&mf, "model", "name=checkpoint.lcrs (repeatable)")
 	flag.Parse()
 	if len(mf) == 0 {
@@ -62,6 +64,10 @@ func main() {
 	}
 	if *verbose {
 		srv.SetLogger(log.New(os.Stderr, "edge ", log.LstdFlags|log.Lmicroseconds))
+	}
+	if *batchMax > 1 {
+		srv.SetBatching(*batchMax, *batchWait)
+		fmt.Printf("micro-batching: up to %d requests per forward, %v wait\n", *batchMax, *batchWait)
 	}
 	for _, spec := range mf {
 		name, path, _ := strings.Cut(spec, "=")
@@ -108,5 +114,6 @@ func main() {
 			fmt.Fprintln(os.Stderr, "lcrs-edge: shutdown:", err)
 			os.Exit(1)
 		}
+		srv.Close() // drain batchers so parked requests are answered
 	}
 }

@@ -18,6 +18,7 @@ func moreAblations() []Experiment {
 		{ID: "ablation-energy", Title: "Device energy per recognition across approaches", Run: (*Runner).AblationEnergy},
 		{ID: "ablation-bits", Title: "Branch weight precision sweep (1/2/4/8-bit vs float32)", Run: (*Runner).AblationBits},
 		{ID: "throughput", Title: "Measured edge inference throughput vs concurrent clients (replica pool)", Run: (*Runner).Throughput},
+		{ID: "batching", Title: "Micro-batching throughput and p50/p99 latency vs concurrency (on vs off)", Run: (*Runner).Batching},
 	}
 }
 

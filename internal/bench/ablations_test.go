@@ -11,7 +11,7 @@ func TestAblationRegistry(t *testing.T) {
 		"ablation-location", "ablation-branches", "ablation-tau",
 		"ablation-links", "offload-bytes",
 		"ablation-concurrency", "ablation-energy", "ablation-bits",
-		"throughput",
+		"throughput", "batching",
 	}
 	got := Ablations()
 	if len(got) != len(want) {
@@ -127,6 +127,29 @@ func TestThroughputQuick(t *testing.T) {
 	// The serial row anchors the speedup column at exactly 1.00x.
 	if !strings.Contains(out, "1.00x") {
 		t.Fatalf("missing serial speedup anchor:\n%s", out)
+	}
+}
+
+// TestBatchingQuick drives the micro-batching comparison end to end in
+// quick mode: both measured tables render, the headline on-vs-off line is
+// present for EXPERIMENTS.md, and the analytic sweep shows the calibrated
+// setup/service split.
+func TestBatchingQuick(t *testing.T) {
+	r := quickRunner()
+	if err := r.Batching(); err != nil {
+		t.Fatal(err)
+	}
+	out := output(r)
+	for _, want := range []string{
+		"Micro-batching on the measured infer path",
+		"On p99", "Off p99",
+		"headline at",
+		"Analytic queueing model",
+		"Load(off)", "Mean batch",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("missing %q:\n%s", want, out)
+		}
 	}
 }
 

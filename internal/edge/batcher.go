@@ -1,0 +1,233 @@
+package edge
+
+import (
+	"sync"
+	"time"
+
+	"lcrs/internal/tensor"
+)
+
+// Dynamic cross-request micro-batching. The replica pool (DESIGN.md §7)
+// lets many inferences run in parallel, but each request still pays its
+// own forward pass: per-layer loop overhead, ParallelFor fork/join per
+// layer, one scratch-buffer sweep per sample. Under the many-client
+// workload the paper's edge server exists for, concurrent requests for
+// the same model can instead share one batched ForwardMainRest — the
+// same amortization that makes XNOR-Net's kernels fast over large tiles.
+//
+// A request that opts into coalescing parks on a channel; the per-model
+// batcher fires when the pending sample count reaches the size cap or a
+// deadline expires, stacks the queued intermediates into one NCHW
+// tensor, checks out a single replica, runs one batched forward, and
+// scatters per-sample predictions back to the waiting handlers.
+// Batching is off by default (Server.SetBatching enables it) and is
+// invisible on the wire: the v1/v2 protocol and response schema are
+// unchanged.
+
+// DefaultBatchWait is the coalescing deadline used when SetBatching is
+// given a non-positive wait: long enough to catch bursts from concurrent
+// clients, short enough to be noise next to a conv-stack forward.
+const DefaultBatchWait = 2 * time.Millisecond
+
+// batchRequest is one parked inference awaiting a coalesced forward.
+type batchRequest struct {
+	t *tensor.Tensor // normalized batched intermediate (N x shared-out)
+	n int            // sample count, t.Dim(0)
+	// done receives exactly one result; buffered so the batch runner
+	// never blocks on a slow handler.
+	done chan batchResult
+}
+
+// batchResult carries one request's slice of a coalesced forward.
+type batchResult struct {
+	preds     []int
+	probs     []float32 // softmax of the request's first sample
+	micros    int64     // shared batched-forward time
+	coalesced bool      // true when the forward served >1 request
+}
+
+// batcher coalesces concurrent infer requests for one registered model.
+type batcher struct {
+	e    *entry
+	max  int           // sample cap per batched forward
+	wait time.Duration // deadline for a non-full batch
+
+	reqCh    chan *batchRequest
+	stop     chan struct{}
+	stopOnce sync.Once
+	// wg tracks the collect loop and every in-flight batch forward, so
+	// Close can wait for all parked requests to be answered.
+	wg sync.WaitGroup
+}
+
+func newBatcher(e *entry, max int, wait time.Duration) *batcher {
+	if wait <= 0 {
+		wait = DefaultBatchWait
+	}
+	b := &batcher{
+		e: e, max: max, wait: wait,
+		reqCh: make(chan *batchRequest),
+		stop:  make(chan struct{}),
+	}
+	b.wg.Add(1)
+	go b.loop()
+	return b
+}
+
+// enqueue offers a request to the collect loop. It reports false when the
+// batcher is shutting down, in which case the caller must serve the
+// request itself (the direct inferOn path).
+func (b *batcher) enqueue(r *batchRequest) bool {
+	select {
+	case b.reqCh <- r:
+		return true
+	case <-b.stop:
+		return false
+	}
+}
+
+// infer parks the request tensor in the coalescing queue and blocks until
+// its slice of the batched forward arrives.
+func (b *batcher) infer(name string, t *tensor.Tensor) (InferResponse, bool) {
+	r := &batchRequest{t: t, n: t.Dim(0), done: make(chan batchResult, 1)}
+	if !b.enqueue(r) {
+		return InferResponse{}, false
+	}
+	res := <-r.done
+	b.e.stats.InferRequests.Add(1)
+	b.e.stats.BatchedRequests.Add(1)
+	if res.coalesced {
+		b.e.stats.CoalescedRequests.Add(1)
+	}
+	return InferResponse{
+		Model:        name,
+		Pred:         res.preds[0],
+		Preds:        res.preds,
+		Probs:        res.probs,
+		ServerMicros: res.micros,
+	}, true
+}
+
+// close stops the collect loop, flushes everything already queued, and
+// waits for in-flight batch forwards to deliver their results.
+func (b *batcher) close() {
+	b.stopOnce.Do(func() { close(b.stop) })
+	b.wg.Wait()
+}
+
+// loop is the collect loop: it accumulates parked requests until the
+// sample cap is reached or the deadline (armed by the first request of a
+// batch) fires, then hands the batch to a runner goroutine and keeps
+// collecting. Forward concurrency stays bounded by the replica pool the
+// runners check out of.
+func (b *batcher) loop() {
+	defer b.wg.Done()
+	var (
+		pending  []*batchRequest
+		pendingN int
+		timer    *time.Timer
+		deadline <-chan time.Time
+	)
+	flush := func() {
+		if timer != nil {
+			timer.Stop()
+			timer, deadline = nil, nil
+		}
+		if len(pending) == 0 {
+			return
+		}
+		batch, n := pending, pendingN
+		pending, pendingN = nil, 0
+		b.wg.Add(1)
+		go func() {
+			defer b.wg.Done()
+			b.run(batch, n)
+		}()
+	}
+	for {
+		select {
+		case r := <-b.reqCh:
+			pending = append(pending, r)
+			pendingN += r.n
+			if pendingN >= b.max {
+				flush()
+			} else if timer == nil {
+				timer = time.NewTimer(b.wait)
+				deadline = timer.C
+			}
+		case <-deadline:
+			timer, deadline = nil, nil
+			flush()
+		case <-b.stop:
+			// Drain requests whose enqueue already committed, then flush
+			// the remainder immediately — shutdown must not sit out the
+			// deadline. Senders that lose the race observe the closed
+			// stop channel and fall back to the direct path.
+			for {
+				select {
+				case r := <-b.reqCh:
+					pending = append(pending, r)
+					pendingN += r.n
+				default:
+					flush()
+					return
+				}
+			}
+		}
+	}
+}
+
+// run executes one coalesced forward and scatters per-request results.
+func (b *batcher) run(batch []*batchRequest, total int) {
+	e := b.e
+	t := batch[0].t
+	if len(batch) > 1 {
+		// Stack the queued intermediates into one contiguous NCHW batch.
+		per := t.Len() / t.Dim(0)
+		t = tensor.New(append([]int{total}, t.Shape[1:]...)...)
+		off := 0
+		for _, r := range batch {
+			copy(t.Data[off*per:], r.t.Data)
+			off += r.n
+		}
+	}
+
+	m := e.checkout()
+	start := time.Now()
+	logits := m.ForwardMainRest(t, false)
+	elapsed := time.Since(start)
+	e.checkin(m)
+	e.stats.ComputeMicros.Add(elapsed.Microseconds())
+	e.stats.Batches.Add(1)
+	e.stats.observeBatch(total)
+
+	coalesced := len(batch) > 1
+	off := 0
+	for _, r := range batch {
+		res := batchResult{
+			preds:     argmaxRows(logits, off, off+r.n),
+			probs:     make([]float32, logits.Dim(1)),
+			micros:    elapsed.Microseconds(),
+			coalesced: coalesced,
+		}
+		tensor.SoftmaxRow(res.probs, logits.Row(off))
+		off += r.n
+		r.done <- res
+	}
+}
+
+// argmaxRows returns the per-row argmax of logits rows [lo, hi).
+func argmaxRows(logits *tensor.Tensor, lo, hi int) []int {
+	preds := make([]int, hi-lo)
+	for i := lo; i < hi; i++ {
+		row := logits.Row(i)
+		best, bi := row[0], 0
+		for j, v := range row[1:] {
+			if v > best {
+				best, bi = v, j+1
+			}
+		}
+		preds[i-lo] = bi
+	}
+	return preds
+}

@@ -67,6 +67,10 @@ type entry struct {
 	// stays bounded at replicas x scratch footprint.
 	replicas chan *models.Composite
 
+	// batcher coalesces concurrent requests into shared batched forwards
+	// when the server has batching enabled; nil otherwise (the default).
+	batcher *batcher
+
 	stats modelStats
 }
 
@@ -76,6 +80,11 @@ func (e *entry) checkout() *models.Composite { return <-e.replicas }
 
 func (e *entry) checkin(m *models.Composite) { e.replicas <- m }
 
+// batchHistBounds are the inclusive upper bounds of the batch-size
+// histogram buckets; the last bucket ends at maxInferBatch, the largest
+// batch a single forward can carry.
+var batchHistBounds = []int{1, 2, 4, 8, 16, 32, 64, 128, maxInferBatch}
+
 // modelStats tracks per-model serving counters. Counters are atomics so
 // request paths never serialize on a stats lock.
 type modelStats struct {
@@ -84,6 +93,27 @@ type modelStats struct {
 	BundleDownloads atomic.Int64
 	ComputeMicros   atomic.Int64
 	PayloadBytes    atomic.Int64
+
+	// Micro-batching counters: requests served through the coalescing
+	// path, the subset that shared a forward with at least one other
+	// request, the number of batched forwards, and a histogram of batch
+	// sample counts (bucket i counts batches of size <= batchHistBounds[i]
+	// and > the previous bound).
+	BatchedRequests   atomic.Int64
+	CoalescedRequests atomic.Int64
+	Batches           atomic.Int64
+	batchHist         [9]atomic.Int64
+}
+
+// observeBatch records one batched forward of n samples in the histogram.
+func (s *modelStats) observeBatch(n int) {
+	for i, le := range batchHistBounds {
+		if n <= le {
+			s.batchHist[i].Add(1)
+			return
+		}
+	}
+	s.batchHist[len(s.batchHist)-1].Add(1)
 }
 
 // ModelStats is the JSON form of one model's serving counters.
@@ -98,6 +128,22 @@ type ModelStats struct {
 	// PayloadBytes is the total offload frame bytes received — the number
 	// the paper's communication-cost tables count, as served.
 	PayloadBytes int64 `json:"payload_bytes"`
+	// BatchedRequests counts requests served through the coalescing path;
+	// CoalescedRequests is the subset that shared a batched forward with
+	// at least one other request, and Batches the forwards executed for
+	// them. All zero (and omitted) when batching is disabled.
+	BatchedRequests   int64 `json:"batched_requests,omitempty"`
+	CoalescedRequests int64 `json:"coalesced_requests,omitempty"`
+	Batches           int64 `json:"batches,omitempty"`
+	// BatchSizeHist buckets batched forwards by sample count.
+	BatchSizeHist []HistBucket `json:"batch_size_hist,omitempty"`
+}
+
+// HistBucket is one batch-size histogram bucket: Count batches carried a
+// sample count in (previous bound, Le].
+type HistBucket struct {
+	Le    int   `json:"le"`
+	Count int64 `json:"count"`
 }
 
 // Server hosts models behind an http.Handler.
@@ -106,6 +152,10 @@ type Server struct {
 	entries  map[string]*entry
 	logger   *log.Logger
 	replicas int
+	// batchMax/batchWait configure micro-batching for subsequently
+	// registered models; batchMax <= 1 (the default) disables it.
+	batchMax  int
+	batchWait time.Duration
 	// codecs is the set of accepted offload wire codec ids; nil means
 	// every codec internal/collab supports.
 	codecs map[collab.CodecID]bool
@@ -136,6 +186,42 @@ func (s *Server) replicasFor() int {
 		return s.replicas
 	}
 	return runtime.NumCPU()
+}
+
+// SetBatching enables dynamic cross-request micro-batching for models
+// registered afterwards: concurrent /v1/infer requests for one model are
+// coalesced into a single batched forward once the pending sample count
+// reaches max or wait expires, whichever is first. max <= 1 disables
+// batching (the default); wait <= 0 uses DefaultBatchWait. Requests whose
+// own batch already reaches max (e.g. pre-batched RecognizeBatch uploads)
+// bypass coalescing. Like SetReplicas, call before Register.
+func (s *Server) SetBatching(max int, wait time.Duration) {
+	if max > maxInferBatch {
+		max = maxInferBatch
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.batchMax = max
+	s.batchWait = wait
+}
+
+// Close stops every model's batcher, flushing parked requests through a
+// final batched forward each. Requests that race with shutdown fall back
+// to the direct per-request path, so in-flight HTTP handlers always get
+// an answer; requests arriving after Close are served unbatched. Safe to
+// call more than once (batcher shutdown is idempotent).
+func (s *Server) Close() {
+	s.mu.RLock()
+	var closing []*batcher
+	for _, e := range s.entries {
+		if e.batcher != nil {
+			closing = append(closing, e.batcher)
+		}
+	}
+	s.mu.RUnlock()
+	for _, b := range closing {
+		b.close()
+	}
 }
 
 // SetCodecs restricts the offload wire codecs the server accepts (and
@@ -201,9 +287,25 @@ func (s *Server) Register(name string, m *models.Composite) error {
 	n := s.replicasFor()
 	pool := make(chan *models.Composite, n)
 	for i := 0; i < n; i++ {
-		pool <- m.CloneForInference()
+		r := m.CloneForInference()
+		if s.batchMax > 1 {
+			// Size every scratch buffer for full coalesced batches now, so
+			// the first burst does not pay the im2col allocations.
+			r.WarmMainRest(s.batchMax)
+		}
+		pool <- r
 	}
-	s.entries[name] = &entry{model: m, bundle: bundle, replicas: pool}
+	e := &entry{model: m, bundle: bundle, replicas: pool}
+	if s.batchMax > 1 {
+		// The batcher is written exactly once, before the entry is
+		// published; handlers read it without further synchronization.
+		e.batcher = newBatcher(e, s.batchMax, s.batchWait)
+	}
+	if old := s.entries[name]; old != nil && old.batcher != nil {
+		// Replacing a model: release the superseded batcher's goroutine.
+		go old.batcher.close()
+	}
+	s.entries[name] = e
 	return nil
 }
 
@@ -218,7 +320,7 @@ func (s *Server) Models() []ModelInfo {
 			Name: name, Arch: e.model.Name, Classes: e.model.Cfg.Classes,
 			BundleBytes: len(e.bundle),
 			InC:         e.model.Cfg.InC, InH: e.model.Cfg.InH, InW: e.model.Cfg.InW,
-			Codecs:      codecs,
+			Codecs: codecs,
 		})
 	}
 	return out
@@ -239,14 +341,24 @@ func (s *Server) Stats() []ModelStats {
 	var out []ModelStats
 	for name, e := range s.entries {
 		st := ModelStats{
-			Name:            name,
-			InferRequests:   e.stats.InferRequests.Load(),
-			InferErrors:     e.stats.InferErrors.Load(),
-			BundleDownloads: e.stats.BundleDownloads.Load(),
-			PayloadBytes:    e.stats.PayloadBytes.Load(),
+			Name:              name,
+			InferRequests:     e.stats.InferRequests.Load(),
+			InferErrors:       e.stats.InferErrors.Load(),
+			BundleDownloads:   e.stats.BundleDownloads.Load(),
+			PayloadBytes:      e.stats.PayloadBytes.Load(),
+			BatchedRequests:   e.stats.BatchedRequests.Load(),
+			CoalescedRequests: e.stats.CoalescedRequests.Load(),
+			Batches:           e.stats.Batches.Load(),
 		}
 		if ok := st.InferRequests - st.InferErrors; ok > 0 {
 			st.AvgComputeMicros = e.stats.ComputeMicros.Load() / ok
+		}
+		if st.Batches > 0 {
+			for i, le := range batchHistBounds {
+				if c := e.stats.batchHist[i].Load(); c > 0 {
+					st.BatchSizeHist = append(st.BatchSizeHist, HistBucket{Le: le, Count: c})
+				}
+			}
 		}
 		out = append(out, st)
 	}
@@ -309,10 +421,25 @@ func (s *Server) Handler() http.Handler {
 			return
 		}
 		e.stats.PayloadBytes.Add(body.n)
-		resp, err := inferOn(name, e, t)
+		t, err = normalizeIntermediate(e, t)
 		if err != nil {
+			e.stats.InferRequests.Add(1)
+			e.stats.InferErrors.Add(1)
 			http.Error(w, err.Error(), http.StatusBadRequest)
 			return
+		}
+		var resp InferResponse
+		// A request whose own batch already fills the cap gains nothing
+		// from coalescing (and would only add queueing delay), so it goes
+		// straight to a replica; so does everything when batching is off
+		// or the batcher is shutting down.
+		if b := e.batcher; b != nil && t.Dim(0) < b.max {
+			var ok bool
+			if resp, ok = b.infer(name, t); !ok {
+				resp = inferOn(name, e, t)
+			}
+		} else {
+			resp = inferOn(name, e, t)
 		}
 		if c, cerr := collab.CodecByID(codecID); cerr == nil {
 			resp.Codec = c.Name()
@@ -365,11 +492,10 @@ func logRequests(l *log.Logger, h http.Handler) http.Handler {
 // an inference replica arbitrarily long.
 const maxInferBatch = 256
 
-// inferOn runs the main-branch rest on an intermediate tensor, on a
-// forward context checked out of the entry's replica pool. The tensor may
-// be a single CHW sample or a batch (the web client coalesces all
-// non-confident samples of a frame batch into one request).
-func inferOn(name string, e *entry, t *tensor.Tensor) (InferResponse, error) {
+// normalizeIntermediate validates a decoded offload tensor against the
+// model's shared-prefix output shape and returns it as an explicit batch:
+// a single CHW sample gains a leading batch dimension of 1.
+func normalizeIntermediate(e *entry, t *tensor.Tensor) (*tensor.Tensor, error) {
 	want := e.model.SharedOutShape()
 	shapeOK := true
 	switch {
@@ -389,12 +515,19 @@ func inferOn(name string, e *entry, t *tensor.Tensor) (InferResponse, error) {
 		}
 	}
 	if !shapeOK {
-		e.stats.InferRequests.Add(1)
-		e.stats.InferErrors.Add(1)
-		return InferResponse{}, fmt.Errorf("edge: tensor shape %v does not match intermediate shape %v (batch <= %d)",
+		return nil, fmt.Errorf("edge: tensor shape %v does not match intermediate shape %v (batch <= %d)",
 			t.Shape, want, maxInferBatch)
 	}
+	return t, nil
+}
 
+// inferOn runs the main-branch rest on a normalized intermediate batch,
+// on a forward context checked out of the entry's replica pool. Only the
+// first sample's softmax is materialized — the response carries one
+// probability vector, so computing the whole batch's rows was wasted
+// work (per-sample probabilities can ride in a ProbsBatch field if a
+// caller ever needs them).
+func inferOn(name string, e *entry, t *tensor.Tensor) InferResponse {
 	m := e.checkout()
 	start := time.Now()
 	logits := m.ForwardMainRest(t, false)
@@ -403,25 +536,16 @@ func inferOn(name string, e *entry, t *tensor.Tensor) (InferResponse, error) {
 	e.stats.InferRequests.Add(1)
 	e.stats.ComputeMicros.Add(elapsed.Microseconds())
 
-	probs := tensor.Softmax(logits)
-	preds := make([]int, logits.Dim(0))
-	for i := range preds {
-		row := logits.Row(i)
-		best, bi := row[0], 0
-		for j, v := range row[1:] {
-			if v > best {
-				best, bi = v, j+1
-			}
-		}
-		preds[i] = bi
-	}
+	probs := make([]float32, logits.Dim(1))
+	tensor.SoftmaxRow(probs, logits.Row(0))
+	preds := argmaxRows(logits, 0, logits.Dim(0))
 	return InferResponse{
 		Model:        name,
 		Pred:         preds[0],
 		Preds:        preds,
-		Probs:        append([]float32(nil), probs.Row(0)...),
+		Probs:        probs,
 		ServerMicros: elapsed.Microseconds(),
-	}, nil
+	}
 }
 
 func writeJSON(w http.ResponseWriter, status int, v any) {

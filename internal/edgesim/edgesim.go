@@ -42,6 +42,21 @@ type Workload struct {
 	Duration time.Duration
 	// Seed drives arrival randomness.
 	Seed int64
+
+	// Micro-batching knobs, mirroring the edge server's batcher
+	// (internal/edge): when BatchMax > 1 the server serves up to BatchMax
+	// queued requests with one forward of cost SetupTime + n*ServiceTime,
+	// and a non-full batch waits up to BatchWait for stragglers before
+	// firing. BatchMax <= 1 keeps the classic one-request-per-service
+	// model, where each request costs SetupTime + ServiceTime.
+	BatchMax int
+	// BatchWait is the coalescing deadline armed by a batch's first
+	// request while the batch is below BatchMax.
+	BatchWait time.Duration
+	// SetupTime is the fixed per-forward cost (im2col/GEMM setup, scratch
+	// sweeps, fork/join) that batching amortizes across the batch;
+	// ServiceTime stays the per-sample marginal cost.
+	SetupTime time.Duration
 }
 
 // TransferTime returns the per-request uplink cost of the workload: zero
@@ -70,6 +85,12 @@ func (w Workload) Validate() error {
 	if w.Duration <= 0 {
 		return fmt.Errorf("edgesim: duration must be positive, got %v", w.Duration)
 	}
+	if w.BatchWait < 0 {
+		return fmt.Errorf("edgesim: batch wait must be non-negative, got %v", w.BatchWait)
+	}
+	if w.SetupTime < 0 {
+		return fmt.Errorf("edgesim: setup time must be non-negative, got %v", w.SetupTime)
+	}
 	return nil
 }
 
@@ -79,16 +100,27 @@ type Result struct {
 	Served int
 	// Utilization is the busy fraction of the server.
 	Utilization float64
-	// MeanWait and P95Wait are queueing delays (excluding service).
+	// MeanWait and P95Wait are queueing delays (excluding service), with
+	// any batching deadline hold included.
 	MeanWait, P95Wait time.Duration
 	// Transfer is the per-request uplink transfer time (zero when the
 	// workload has no link profile).
 	Transfer time.Duration
 	// MeanSojourn is uplink transfer plus queueing plus service.
 	MeanSojourn time.Duration
-	// OfferedLoad is arrival rate x service time — above 1 the queue is
-	// unstable and waits grow with the simulated duration.
+	// P50Sojourn and P99Sojourn are per-request end-to-end percentiles
+	// (transfer + queueing + service), the distribution the batching
+	// bench compares against measured HTTP latencies.
+	P50Sojourn, P99Sojourn time.Duration
+	// OfferedLoad is arrival rate x unbatched service time (setup + per
+	// sample) — above 1 the unbatched queue is unstable; batching can
+	// hold an offered load above 1 stable by amortizing the setup.
 	OfferedLoad float64
+	// Batches is the number of server forwards; MeanBatch is the average
+	// number of requests they coalesced (1 with batching off).
+	Batches int
+	// MeanBatch is Served / Batches.
+	MeanBatch float64
 }
 
 // arrivalHeap orders event times.
@@ -124,36 +156,88 @@ func Run(w Workload) (Result, error) {
 		}
 	}
 
-	service := w.ServiceTime.Seconds()
-	var busyUntil, busyTotal float64
-	var waits []float64
+	arrivals := make([]float64, 0, h.Len())
 	for h.Len() > 0 {
-		at := heap.Pop(h).(float64)
-		start := math.Max(at, busyUntil)
-		waits = append(waits, start-at)
-		busyUntil = start + service
-		busyTotal += service
+		arrivals = append(arrivals, heap.Pop(h).(float64))
+	}
+
+	service := w.ServiceTime.Seconds()
+	setup := w.SetupTime.Seconds()
+	batchMax := w.BatchMax
+	if batchMax < 1 {
+		batchMax = 1
+	}
+	bwait := w.BatchWait.Seconds()
+
+	// Single-server FIFO with server-side coalescing, mirroring the edge
+	// batcher: a forward serves up to batchMax queued requests at cost
+	// setup + n*service; a non-full batch holds for the deadline so late
+	// stragglers can amortize the setup, firing early the moment it fills.
+	// With batchMax = 1 this reduces exactly to the classic per-request
+	// model (and to the pre-batching accounting when setup is zero).
+	var busyUntil, busyTotal float64
+	var waits, sojourns []float64
+	batches := 0
+	i := 0
+	for i < len(arrivals) {
+		// The window opens when the head request could be served: its
+		// arrival, or when the server frees. Everything already queued by
+		// then joins, up to the cap.
+		open := math.Max(arrivals[i], busyUntil)
+		j := i + 1
+		for j < len(arrivals) && j-i < batchMax && arrivals[j] <= open {
+			j++
+		}
+		start := open
+		if j-i < batchMax && bwait > 0 {
+			deadline := open + bwait
+			start = deadline
+			for j < len(arrivals) && j-i < batchMax && arrivals[j] <= deadline {
+				j++
+			}
+			if j-i == batchMax {
+				// Filled before the deadline: fire on the closing arrival.
+				start = arrivals[j-1]
+			}
+		}
+		busy := setup + float64(j-i)*service
+		finish := start + busy
+		busyTotal += busy
+		busyUntil = finish
+		batches++
+		for ; i < j; i++ {
+			waits = append(waits, start-arrivals[i])
+			sojourns = append(sojourns, finish-arrivals[i])
+		}
 	}
 
 	res := Result{
 		Served:      len(waits),
-		OfferedLoad: float64(w.Clients) * lambda * service,
+		OfferedLoad: float64(w.Clients) * lambda * (setup + service),
+		Batches:     batches,
 	}
 	if len(waits) == 0 {
 		return res, nil
 	}
+	res.MeanBatch = float64(res.Served) / float64(batches)
 	span := math.Max(horizon, busyUntil)
 	res.Utilization = busyTotal / span
 	sort.Float64s(waits)
-	var sum float64
-	for _, v := range waits {
-		sum += v
+	sort.Float64s(sojourns)
+	mean := func(vs []float64) float64 {
+		var sum float64
+		for _, v := range vs {
+			sum += v
+		}
+		return sum / float64(len(vs))
 	}
-	mean := sum / float64(len(waits))
-	res.MeanWait = time.Duration(mean * float64(time.Second))
-	res.P95Wait = time.Duration(waits[(len(waits)*95)/100] * float64(time.Second))
+	dur := func(s float64) time.Duration { return time.Duration(s * float64(time.Second)) }
+	res.MeanWait = dur(mean(waits))
+	res.P95Wait = dur(waits[(len(waits)*95)/100])
 	res.Transfer = w.TransferTime()
-	res.MeanSojourn = res.Transfer + res.MeanWait + w.ServiceTime
+	res.MeanSojourn = res.Transfer + dur(mean(sojourns))
+	res.P50Sojourn = res.Transfer + dur(sojourns[len(sojourns)/2])
+	res.P99Sojourn = res.Transfer + dur(sojourns[(len(sojourns)*99)/100])
 	return res, nil
 }
 

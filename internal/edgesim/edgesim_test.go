@@ -27,6 +27,8 @@ func TestValidate(t *testing.T) {
 		func(w *Workload) { w.OffloadFraction = 1.1 },
 		func(w *Workload) { w.ServiceTime = 0 },
 		func(w *Workload) { w.Duration = 0 },
+		func(w *Workload) { w.BatchWait = -time.Millisecond },
+		func(w *Workload) { w.SetupTime = -time.Millisecond },
 	}
 	for i, mutate := range bad {
 		w := baseWorkload()
@@ -185,5 +187,78 @@ func TestTransferAddsToSojourn(t *testing.T) {
 	}
 	if small.MeanSojourn >= res.MeanSojourn {
 		t.Fatalf("smaller payload sojourn %v not below %v", small.MeanSojourn, res.MeanSojourn)
+	}
+}
+
+// BatchMax 0 and 1 are both "batching off" and must agree exactly with
+// each other (the legacy single-request service model).
+func TestBatchMaxOneMatchesLegacy(t *testing.T) {
+	w := baseWorkload()
+	legacy, err := Run(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w.BatchMax = 1
+	one, err := Run(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if legacy != one {
+		t.Fatalf("BatchMax=1 diverged from legacy:\n%+v\n%+v", legacy, one)
+	}
+	if legacy.MeanBatch != 1 || legacy.Batches != legacy.Served {
+		t.Fatalf("unbatched run must have batch size 1: %+v", legacy)
+	}
+}
+
+// When a fixed setup cost makes the unbatched queue unstable, coalescing
+// amortizes it and brings the sojourn back down — the win the edge
+// batcher is built for.
+func TestBatchingAmortizesSetupUnderLoad(t *testing.T) {
+	w := baseWorkload()
+	w.Clients = 60
+	w.ServiceTime = 4 * time.Millisecond
+	w.SetupTime = 16 * time.Millisecond // offered load 60*(0.004+0.016) = 1.2
+	off, err := Run(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w.BatchMax = 16
+	w.BatchWait = 2 * time.Millisecond
+	on, err := Run(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if off.OfferedLoad <= 1 {
+		t.Fatalf("unbatched offered load %v should exceed 1", off.OfferedLoad)
+	}
+	if on.MeanBatch <= 1.5 {
+		t.Fatalf("saturated batcher should coalesce, mean batch %v", on.MeanBatch)
+	}
+	if on.MeanSojourn >= off.MeanSojourn/10 {
+		t.Fatalf("batched sojourn %v not dramatically below unbatched %v", on.MeanSojourn, off.MeanSojourn)
+	}
+	if on.P99Sojourn >= off.P99Sojourn {
+		t.Fatalf("batched p99 %v not below unbatched %v", on.P99Sojourn, off.P99Sojourn)
+	}
+}
+
+// At a trickle, the deadline is pure loss: every lone request waits out
+// BatchWait with nobody to share its forward.
+func TestBatchWaitCostsIdleTraffic(t *testing.T) {
+	w := baseWorkload()
+	w.Clients = 1
+	w.RequestRate = 0.5 // mean inter-arrival 2s >> wait: batches of one
+	w.BatchMax = 8
+	w.BatchWait = 10 * time.Millisecond
+	res, err := Run(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.MeanBatch > 1.05 {
+		t.Fatalf("trickle traffic should not coalesce, mean batch %v", res.MeanBatch)
+	}
+	if res.MeanWait < 9*time.Millisecond {
+		t.Fatalf("lone requests must pay the deadline, mean wait %v", res.MeanWait)
 	}
 }

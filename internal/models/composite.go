@@ -117,6 +117,19 @@ func (m *Composite) ForwardMainRest(t *tensor.Tensor, train bool) *tensor.Tensor
 	return m.MainRest.Forward(t, train)
 }
 
+// WarmMainRest sizes the main-branch-rest scratch buffers (the conv
+// layers' im2col workspaces, which grow monotonically with batch size)
+// for batches of up to n samples by running one throwaway eval forward on
+// a zero batch. The edge server warms each inference replica this way
+// when micro-batching is enabled, so the first coalesced batch pays no
+// allocations.
+func (m *Composite) WarmMainRest(n int) {
+	if n < 1 {
+		n = 1
+	}
+	m.ForwardMainRest(tensor.New(append([]int{n}, m.SharedOutShape()...)...), false)
+}
+
 // ForwardBinary runs the binary branch on a shared-prefix output.
 func (m *Composite) ForwardBinary(t *tensor.Tensor, train bool) *tensor.Tensor {
 	return m.Binary.Forward(t, train)

@@ -116,6 +116,14 @@ func MatMul(a, b *Tensor) *Tensor {
 
 // MatMulInto computes dst = a x b where dst is a preallocated m x n tensor.
 // dst must not alias a or b.
+//
+// The kernel keeps the i-k-j loop order (inner loop walks contiguous rows
+// of B and C) but accumulates four B rows per sweep: one pass over C per
+// four values of A instead of one per value, which quarters the C-row
+// load/store traffic and drops the data-dependent av == 0 branch that the
+// CPU could not predict on dense inputs. Accumulation order per output
+// element is fixed and chunking-free, so results are deterministic
+// run-to-run.
 func MatMulInto(dst, a, b *Tensor) {
 	m, k := a.Shape[0], a.Shape[1]
 	n := b.Shape[1]
@@ -126,15 +134,22 @@ func MatMulInto(dst, a, b *Tensor) {
 	for i := range cd {
 		cd[i] = 0
 	}
-	// i-k-j loop order: the inner loop walks contiguous rows of B and C.
 	for i := 0; i < m; i++ {
 		arow := ad[i*k : (i+1)*k]
 		crow := cd[i*n : (i+1)*n]
-		for kk := 0; kk < k; kk++ {
-			av := arow[kk]
-			if av == 0 {
-				continue
+		kk := 0
+		for ; kk+4 <= k; kk += 4 {
+			a0, a1, a2, a3 := arow[kk], arow[kk+1], arow[kk+2], arow[kk+3]
+			b0 := bd[kk*n : (kk+1)*n]
+			b1 := bd[(kk+1)*n : (kk+2)*n]
+			b2 := bd[(kk+2)*n : (kk+3)*n]
+			b3 := bd[(kk+3)*n : (kk+4)*n]
+			for j := range crow {
+				crow[j] += a0*b0[j] + a1*b1[j] + a2*b2[j] + a3*b3[j]
 			}
+		}
+		for ; kk < k; kk++ {
+			av := arow[kk]
 			brow := bd[kk*n : (kk+1)*n]
 			for j, bv := range brow {
 				crow[j] += av * bv

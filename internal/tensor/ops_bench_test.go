@@ -1,0 +1,33 @@
+package tensor
+
+import (
+	"fmt"
+	"testing"
+)
+
+// BenchmarkMatMulInto exercises the GEMM at the shapes the rest-of-AlexNet
+// backward/forward path feeds it (DESIGN.md §3 architecture, 32x32 inputs):
+// the conv2 weight-gradient GEMM dOut(192x256) x cols(256x576), the conv5
+// one at its 4x4 spatial extent, and a 32-sample fc7 input-gradient GEMM
+// dOut(32x3000) x W(3000x3000). The CI bench smoke runs this with
+// -benchtime=1x so kernel regressions surface in the pipeline.
+func BenchmarkMatMulInto(b *testing.B) {
+	shapes := []struct{ m, k, n int }{
+		{192, 256, 576},  // alexnet conv2 dW: (OutC x P) x (P x K)
+		{256, 16, 2304},  // alexnet conv5 dW at 4x4 spatial
+		{32, 3000, 3000}, // alexnet fc7 dX: (N x Out) x (Out x In)
+	}
+	for _, s := range shapes {
+		b.Run(fmt.Sprintf("%dx%dx%d", s.m, s.k, s.n), func(b *testing.B) {
+			g := NewRNG(1)
+			a := g.Uniform(-1, 1, s.m, s.k)
+			bb := g.Uniform(-1, 1, s.k, s.n)
+			dst := New(s.m, s.n)
+			b.SetBytes(int64(s.m) * int64(s.k) * int64(s.n) * 4)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				MatMulInto(dst, a, bb)
+			}
+		})
+	}
+}
