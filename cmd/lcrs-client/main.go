@@ -70,7 +70,11 @@ func main() {
 	}
 
 	ctx := context.Background()
-	c := webclient.New(*server, nil)
+	c, err := webclient.New(*server)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "lcrs-client:", err)
+		os.Exit(1)
+	}
 	if err := c.LoadModel(ctx, *model, hdr.Arch, hdr.Config, threshold); err != nil {
 		fmt.Fprintln(os.Stderr, "lcrs-client:", err)
 		os.Exit(1)
@@ -89,7 +93,7 @@ func main() {
 	}
 
 	var exits, correct int
-	var totalClient, totalEdge time.Duration
+	var totalClient, totalEdge, totalNet, totalServer time.Duration
 	var totalPayload int
 	for i := 0; i < ds.Len(); i++ {
 		x, label := ds.Sample(i)
@@ -108,6 +112,8 @@ func main() {
 		}
 		totalClient += res.ClientTime
 		totalEdge += res.EdgeTime
+		totalNet += res.Stages.Network()
+		totalServer += res.Stages.EdgeTotal()
 		totalPayload += res.PayloadBytes
 		fmt.Printf("sample %2d: pred %d (label %d) via %-6s entropy %.4f client %v edge %v\n",
 			i, res.Pred, label, path, res.Entropy,
@@ -118,4 +124,11 @@ func main() {
 		(totalClient / time.Duration(ds.Len())).Round(time.Microsecond),
 		(totalEdge / time.Duration(ds.Len())).Round(time.Microsecond),
 		totalPayload, c.Codec())
+	// Edge round trips decompose via the server's stage echo: what the
+	// edge accounted for vs. the wire (see DESIGN.md section 10).
+	if offloads := ds.Len() - exits; offloads > 0 {
+		fmt.Printf("offload breakdown: avg network %v, avg edge stages %v\n",
+			(totalNet / time.Duration(offloads)).Round(time.Microsecond),
+			(totalServer / time.Duration(offloads)).Round(time.Microsecond))
+	}
 }

@@ -14,6 +14,7 @@ import (
 	"fmt"
 	"log"
 	"net/http"
+	_ "net/http/pprof" // -debug-addr profiling endpoints
 	"os"
 	"os/signal"
 	"strings"
@@ -44,6 +45,7 @@ func main() {
 	codecs := flag.String("codecs", "", "comma-separated offload codecs to accept (e.g. raw,f16,q8); raw is always accepted; empty accepts all")
 	batchMax := flag.Int("batch-max", 0, "coalesce up to this many concurrent infer requests into one forward (0 or 1 disables batching)")
 	batchWait := flag.Duration("batch-wait", edge.DefaultBatchWait, "how long a non-full batch waits for stragglers before firing")
+	debugAddr := flag.String("debug-addr", "", "optional address for net/http/pprof profiling (e.g. 127.0.0.1:6060); empty disables")
 	flag.Var(&mf, "model", "name=checkpoint.lcrs (repeatable)")
 	flag.Parse()
 	if len(mf) == 0 {
@@ -51,23 +53,42 @@ func main() {
 		os.Exit(2)
 	}
 
-	srv := edge.NewServer()
+	var opts []edge.Option
 	if *codecs != "" {
 		names := strings.Split(*codecs, ",")
 		for i := range names {
 			names[i] = strings.TrimSpace(names[i])
 		}
-		if err := srv.SetCodecs(names...); err != nil {
-			fmt.Fprintln(os.Stderr, "lcrs-edge:", err)
-			os.Exit(2)
-		}
+		opts = append(opts, edge.WithCodecs(names...))
 	}
 	if *verbose {
-		srv.SetLogger(log.New(os.Stderr, "edge ", log.LstdFlags|log.Lmicroseconds))
+		opts = append(opts, edge.WithLogger(log.New(os.Stderr, "edge ", log.LstdFlags|log.Lmicroseconds)))
 	}
 	if *batchMax > 1 {
-		srv.SetBatching(*batchMax, *batchWait)
+		opts = append(opts, edge.WithBatching(*batchMax, *batchWait))
+	}
+	srv, err := edge.New(opts...)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "lcrs-edge:", err)
+		os.Exit(2)
+	}
+	if *batchMax > 1 {
 		fmt.Printf("micro-batching: up to %d requests per forward, %v wait\n", *batchMax, *batchWait)
+	}
+	if *debugAddr != "" {
+		// The pprof mux stays on its own listener so profiling endpoints
+		// are never exposed on the serving address.
+		go func() {
+			ps := &http.Server{
+				Addr:              *debugAddr,
+				Handler:           http.DefaultServeMux, // net/http/pprof registers here
+				ReadHeaderTimeout: 10 * time.Second,
+			}
+			fmt.Printf("pprof listening on %s\n", *debugAddr)
+			if err := ps.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+				fmt.Fprintln(os.Stderr, "lcrs-edge: pprof:", err)
+			}
+		}()
 	}
 	for _, spec := range mf {
 		name, path, _ := strings.Cut(spec, "=")

@@ -19,6 +19,7 @@ func moreAblations() []Experiment {
 		{ID: "ablation-bits", Title: "Branch weight precision sweep (1/2/4/8-bit vs float32)", Run: (*Runner).AblationBits},
 		{ID: "throughput", Title: "Measured edge inference throughput vs concurrent clients (replica pool)", Run: (*Runner).Throughput},
 		{ID: "batching", Title: "Micro-batching throughput and p50/p99 latency vs concurrency (on vs off)", Run: (*Runner).Batching},
+		{ID: "stages", Title: "Measured per-stage offload decomposition (client clocks + edge trace echo)", Run: (*Runner).Stages},
 	}
 }
 

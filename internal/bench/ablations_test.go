@@ -11,7 +11,7 @@ func TestAblationRegistry(t *testing.T) {
 		"ablation-location", "ablation-branches", "ablation-tau",
 		"ablation-links", "offload-bytes",
 		"ablation-concurrency", "ablation-energy", "ablation-bits",
-		"throughput", "batching",
+		"throughput", "batching", "stages",
 	}
 	got := Ablations()
 	if len(got) != len(want) {

@@ -63,10 +63,13 @@ func (r *Runner) Batching() error {
 		p50, p99 time.Duration
 	}
 	measure := func(batching bool) (map[int]point, float64, error) {
-		s := edge.NewServer()
-		s.SetReplicas(replicas)
+		opts := []edge.Option{edge.WithReplicas(replicas)}
 		if batching {
-			s.SetBatching(batchMax, edge.DefaultBatchWait)
+			opts = append(opts, edge.WithBatching(batchMax, edge.DefaultBatchWait))
+		}
+		s, err := edge.New(opts...)
+		if err != nil {
+			return nil, 0, err
 		}
 		if err := s.Register(arch, m); err != nil {
 			return nil, 0, err

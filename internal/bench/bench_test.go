@@ -172,3 +172,25 @@ func TestDeterministicOutput(t *testing.T) {
 	}
 	_ = time.Now // keep time imported if assertions change
 }
+
+// The stages experiment consumes the webclient's measured stage breakdown:
+// the decomposition table must carry every stage row, and the batched
+// cross-check must print both the measured and the simulated hold.
+func TestStagesQuick(t *testing.T) {
+	r := quickRunner()
+	if err := r.Stages(); err != nil {
+		t.Fatal(err)
+	}
+	out := output(r)
+	for _, want := range []string{
+		"Measured offload decomposition",
+		"client local", "client encode", "wire (RTT - edge stages)",
+		"edge read", "edge decode", "edge queue", "edge batch wait", "edge forward",
+		"Batch-wait cross-check",
+		"measured (edge batch_wait stage)", "simulated (edgesim MeanHold)",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("output missing %q:\n%s", want, out)
+		}
+	}
+}

@@ -183,8 +183,10 @@ func (r *Runner) Throughput() error {
 	}
 	maxLevel := levels[len(levels)-1]
 
-	s := edge.NewServer()
-	s.SetReplicas(maxLevel)
+	s, err := edge.New(edge.WithReplicas(maxLevel))
+	if err != nil {
+		return err
+	}
 	if err := s.Register(arch, m); err != nil {
 		return err
 	}

@@ -1,0 +1,170 @@
+package bench
+
+import (
+	"context"
+	"fmt"
+	"net/http/httptest"
+	"time"
+
+	"lcrs/internal/edge"
+	"lcrs/internal/edgesim"
+	"lcrs/internal/webclient"
+)
+
+// Stages prints a measured Figure 8-style decomposition of an offloaded
+// recognition: the client's local compute and encode clocks plus the edge
+// server's per-stage trace echo (read, decode, queue, batch wait, forward),
+// with the residual attributed to the wire. Unlike the latency tables, which
+// come from the calibrated cost model, every number here is a wall-clock
+// measurement over a real HTTP loopback — the same breakdown a production
+// deployment reads off the edge's /metrics histograms. A second run turns
+// micro-batching on for a sequential (lone-request) client, so the measured
+// batch-wait stage can be cross-checked against the edgesim queueing model's
+// simulated hold for the same coalescing policy.
+func (r *Runner) Stages() error {
+	arch, ds := "resnet18", "cifar10"
+	if r.Cfg.Quick {
+		arch, ds = "lenet", "mnist"
+	}
+	tm, err := r.train(arch, ds)
+	if err != nil {
+		return err
+	}
+	n := 24
+	if r.Cfg.Quick {
+		n = 12
+	}
+	if n > tm.test.Len() {
+		n = tm.test.Len()
+	}
+
+	r.printf("Measured offload decomposition (%s, %d offloaded samples, tau=0)\n", arch, n)
+	mean, total, err := r.stageSession(tm, arch, n)
+	if err != nil {
+		return err
+	}
+	us := func(d time.Duration) string {
+		return fmt.Sprintf("%.0f", float64(d)/float64(time.Microsecond))
+	}
+	share := func(d time.Duration) string {
+		return fmt.Sprintf("%.1f%%", 100*float64(d)/float64(total))
+	}
+	rows := [][]string{
+		{"client local (shared+binary)", us(mean.Local), share(mean.Local)},
+		{"client encode", us(mean.Encode), share(mean.Encode)},
+		{"wire (RTT - edge stages)", us(mean.Network()), share(mean.Network())},
+		{"edge read", us(mean.EdgeRead), share(mean.EdgeRead)},
+		{"edge decode", us(mean.EdgeDecode), share(mean.EdgeDecode)},
+		{"edge queue", us(mean.EdgeQueue), share(mean.EdgeQueue)},
+		{"edge batch wait", us(mean.EdgeBatchWait), share(mean.EdgeBatchWait)},
+		{"edge forward", us(mean.EdgeForward), share(mean.EdgeForward)},
+	}
+	r.table([]string{"Stage", "Mean (us)", "Share"}, rows)
+	r.printf("mean end-to-end %v (local + encode + RTT)\n", total.Round(time.Microsecond))
+
+	return r.stagesBatched(tm, arch, n/2, mean.EdgeForward)
+}
+
+// stagesBatched repeats the session against a batching server. A sequential
+// client only ever has one request in flight, so every batch fires alone
+// after waiting out the deadline: the measured batch-wait stage should sit
+// just under BatchWait, and the edgesim trickle workload with the same
+// policy should simulate the same hold.
+func (r *Runner) stagesBatched(tm *trainedModel, arch string, n int, forward time.Duration) error {
+	const batchMax = 4
+	wait := 2 * time.Millisecond
+	if n < 2 {
+		n = 2
+	}
+	mean, _, err := r.stageSession(tm, arch, n, edge.WithBatching(batchMax, wait))
+	if err != nil {
+		return err
+	}
+	service := forward
+	if service <= 0 {
+		service = time.Millisecond
+	}
+	sim, err := edgesim.Run(edgesim.Workload{
+		Clients: 1, RequestRate: 0.5, OffloadFraction: 1,
+		ServiceTime: service, BatchMax: batchMax, BatchWait: wait,
+		Duration: 30 * time.Second, Seed: r.Cfg.Seed,
+	})
+	if err != nil {
+		return err
+	}
+	r.printf("Batch-wait cross-check (lone requests, batch cap %d, wait %v, %d samples)\n", batchMax, wait, n)
+	r.table([]string{"Source", "Mean hold"},
+		[][]string{
+			{"measured (edge batch_wait stage)", fmt.Sprint(mean.EdgeBatchWait.Round(time.Microsecond))},
+			{"simulated (edgesim MeanHold)", fmt.Sprint(sim.MeanHold.Round(time.Microsecond))},
+			{"policy deadline", fmt.Sprint(wait)},
+		})
+	return nil
+}
+
+// stageSession serves the trained model from a fresh in-process edge server
+// built with opts, offloads n samples through a web client (tau=0 so the
+// binary branch never answers), and returns the per-stage means plus the
+// mean end-to-end latency (local + encode + RTT).
+func (r *Runner) stageSession(tm *trainedModel, arch string, n int, opts ...edge.Option) (webclient.StageTimes, time.Duration, error) {
+	var zero webclient.StageTimes
+	s, err := edge.New(opts...)
+	if err != nil {
+		return zero, 0, err
+	}
+	defer s.Close()
+	if err := s.Register(arch, tm.model); err != nil {
+		return zero, 0, err
+	}
+	srv := httptest.NewServer(s.Handler())
+	defer srv.Close()
+
+	ctx := context.Background()
+	c, err := webclient.New(srv.URL, webclient.WithHTTPClient(srv.Client()))
+	if err != nil {
+		return zero, 0, err
+	}
+	if err := c.LoadModel(ctx, arch, arch, tm.model.Cfg, 0); err != nil {
+		return zero, 0, err
+	}
+
+	var sum webclient.StageTimes
+	var total time.Duration
+	offloaded := 0
+	for i := 0; i < n; i++ {
+		x, _ := tm.test.Sample(i)
+		res, err := c.Recognize(ctx, x)
+		if err != nil {
+			return zero, 0, err
+		}
+		if res.Exited {
+			// tau=0 exits only on exactly-zero entropy (a fully saturated
+			// binary softmax); such samples carry no offload stages.
+			continue
+		}
+		offloaded++
+		st := res.Stages
+		sum.Local += st.Local
+		sum.Encode += st.Encode
+		sum.RTT += st.RTT
+		sum.EdgeRead += st.EdgeRead
+		sum.EdgeDecode += st.EdgeDecode
+		sum.EdgeQueue += st.EdgeQueue
+		sum.EdgeBatchWait += st.EdgeBatchWait
+		sum.EdgeForward += st.EdgeForward
+		total += st.Local + st.Encode + st.RTT
+	}
+	if offloaded == 0 {
+		return zero, 0, fmt.Errorf("bench: no sample offloaded at tau=0")
+	}
+	div := time.Duration(offloaded)
+	sum.Local /= div
+	sum.Encode /= div
+	sum.RTT /= div
+	sum.EdgeRead /= div
+	sum.EdgeDecode /= div
+	sum.EdgeQueue /= div
+	sum.EdgeBatchWait /= div
+	sum.EdgeForward /= div
+	return sum, total / div, nil
+}

@@ -53,6 +53,15 @@ type Record struct {
 	Uplink        time.Duration
 	ServerCompute time.Duration
 	Downlink      time.Duration
+	// MeasuredClient and MeasuredServer are the wall-clock times of the
+	// sample's forward passes on this host (binary branch and main-branch
+	// rest respectively). Unlike the cost-model attributions above, which
+	// are deterministic and hardware independent, these are real
+	// measurements — the in-process analogue of the per-stage tracing the
+	// edge server exposes at /metrics, and the column a measured
+	// decomposition table reads.
+	MeasuredClient time.Duration
+	MeasuredServer time.Duration
 }
 
 // Total returns the end-to-end latency of the sample.
@@ -109,13 +118,14 @@ func (rt *Runtime) Infer(x *tensor.Tensor) Record {
 	m := rt.Model
 	batch := x.Reshape(append([]int{1}, x.Shape...)...)
 
+	clientStart := time.Now()
 	shared := m.ForwardShared(batch, false)
 	binLogits := m.ForwardBinary(shared, false)
 	probs := tensor.Softmax(binLogits)
 	entropy := exitpolicy.NormalizedEntropy(probs.Row(0))
 
 	ref := rt.costRef()
-	rec := Record{Entropy: entropy}
+	rec := Record{Entropy: entropy, MeasuredClient: time.Since(clientStart)}
 	rec.ClientCompute = rt.Cost.Client.ComputeTime(ref.BinaryFLOPs())
 
 	if exitpolicy.ShouldExit(entropy, rt.Tau) {
@@ -125,7 +135,9 @@ func (rt *Runtime) Infer(x *tensor.Tensor) Record {
 	}
 	// Ship the shared-prefix output to the edge and run the main rest.
 	rec.Uplink = rt.Cost.Link.SampleUpTime(rt.uplinkBytes(ref))
+	serverStart := time.Now()
 	mainLogits := m.ForwardMainRest(rt.throughCodec(shared), false)
+	rec.MeasuredServer = time.Since(serverStart)
 	rec.ServerCompute = rt.Cost.Server.ComputeTime(ref.MainRest.FLOPs(ref.SharedOutShape()))
 	rec.Downlink = rt.Cost.Link.SampleDownTime(resultBytes)
 	rec.Pred = argmaxRow(mainLogits.Row(0))
@@ -194,6 +206,11 @@ type SessionStats struct {
 	AvgComm time.Duration
 	// AvgCompute is mean per-sample compute (client + server).
 	AvgCompute time.Duration
+	// AvgMeasuredClient and AvgMeasuredServer are the means of the
+	// wall-clock measurements in the records — the measured counterpart of
+	// AvgCompute's cost-model attribution.
+	AvgMeasuredClient time.Duration
+	AvgMeasuredServer time.Duration
 	// Records holds the per-sample breakdowns.
 	Records []Record
 }
@@ -206,7 +223,7 @@ func (rt *Runtime) RunSession(ds *dataset.Dataset, n int) (SessionStats, error) 
 		return SessionStats{}, fmt.Errorf("collab: session size %d out of range (dataset has %d)", n, ds.Len())
 	}
 	st := SessionStats{N: n, ModelLoad: rt.ModelLoadTime()}
-	var totalLat, totalComm, totalCompute time.Duration
+	var totalLat, totalComm, totalCompute, totalMC, totalMS time.Duration
 	exited, correct := 0, 0
 	for i := 0; i < n; i++ {
 		x, label := ds.Sample(i)
@@ -215,6 +232,8 @@ func (rt *Runtime) RunSession(ds *dataset.Dataset, n int) (SessionStats, error) 
 		totalLat += rec.Total()
 		totalComm += rec.Comm()
 		totalCompute += rec.ClientCompute + rec.ServerCompute
+		totalMC += rec.MeasuredClient
+		totalMS += rec.MeasuredServer
 		if rec.Exited {
 			exited++
 		}
@@ -228,6 +247,8 @@ func (rt *Runtime) RunSession(ds *dataset.Dataset, n int) (SessionStats, error) 
 	st.AvgTotal = totalLat/time.Duration(n) + amortized
 	st.AvgComm = totalComm/time.Duration(n) + amortized
 	st.AvgCompute = totalCompute / time.Duration(n)
+	st.AvgMeasuredClient = totalMC / time.Duration(n)
+	st.AvgMeasuredServer = totalMS / time.Duration(n)
 	return st, nil
 }
 

@@ -208,3 +208,33 @@ func TestReadTensorRejectsBadFrames(t *testing.T) {
 		t.Fatal("truncated frame accepted")
 	}
 }
+
+// The runtime's measured wall-clock fields complement the cost-model
+// attribution: local forwards really ran, so their measurements must be
+// populated exactly on the paths that executed.
+func TestInferMeasuredWallClock(t *testing.T) {
+	rt, test := trainedRuntime(t, 0.0) // never exit
+	x, _ := test.Sample(0)
+	rec := rt.Infer(x)
+	if rec.MeasuredClient <= 0 || rec.MeasuredServer <= 0 {
+		t.Fatalf("offloaded sample must measure both forwards: %+v", rec)
+	}
+
+	rt.Tau = 1.0 // always exit
+	rec = rt.Infer(x)
+	if rec.MeasuredClient <= 0 {
+		t.Fatalf("exit still runs the binary branch: %+v", rec)
+	}
+	if rec.MeasuredServer != 0 {
+		t.Fatalf("exit must not measure a server forward: %+v", rec)
+	}
+
+	rt.Tau = 0.0
+	st, err := rt.RunSession(test, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.AvgMeasuredClient <= 0 || st.AvgMeasuredServer <= 0 {
+		t.Fatalf("session aggregates missing measured means: %+v", st)
+	}
+}

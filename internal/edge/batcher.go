@@ -20,19 +20,20 @@ import (
 // deadline expires, stacks the queued intermediates into one NCHW
 // tensor, checks out a single replica, runs one batched forward, and
 // scatters per-sample predictions back to the waiting handlers.
-// Batching is off by default (Server.SetBatching enables it) and is
+// Batching is off by default (edge.WithBatching enables it) and is
 // invisible on the wire: the v1/v2 protocol and response schema are
 // unchanged.
 
-// DefaultBatchWait is the coalescing deadline used when SetBatching is
+// DefaultBatchWait is the coalescing deadline used when WithBatching is
 // given a non-positive wait: long enough to catch bursts from concurrent
 // clients, short enough to be noise next to a conv-stack forward.
 const DefaultBatchWait = 2 * time.Millisecond
 
 // batchRequest is one parked inference awaiting a coalesced forward.
 type batchRequest struct {
-	t *tensor.Tensor // normalized batched intermediate (N x shared-out)
-	n int            // sample count, t.Dim(0)
+	t      *tensor.Tensor // normalized batched intermediate (N x shared-out)
+	n      int            // sample count, t.Dim(0)
+	parked time.Time      // when the request entered the coalescing queue
 	// done receives exactly one result; buffered so the batch runner
 	// never blocks on a slow handler.
 	done chan batchResult
@@ -44,6 +45,14 @@ type batchResult struct {
 	probs     []float32 // softmax of the request's first sample
 	micros    int64     // shared batched-forward time
 	coalesced bool      // true when the forward served >1 request
+	// Stage attribution for the request's trace: time parked waiting for
+	// batch peers or the deadline, time the batch waited for a free
+	// replica, and the shared forward itself. The latter two are the
+	// batch's times, charged whole to every member — each request really
+	// did wait (and compute) for that long, it just shared the bill.
+	batchWait time.Duration
+	queueWait time.Duration
+	forward   time.Duration
 }
 
 // batcher coalesces concurrent infer requests for one registered model.
@@ -87,13 +96,17 @@ func (b *batcher) enqueue(r *batchRequest) bool {
 }
 
 // infer parks the request tensor in the coalescing queue and blocks until
-// its slice of the batched forward arrives.
-func (b *batcher) infer(name string, t *tensor.Tensor) (InferResponse, bool) {
-	r := &batchRequest{t: t, n: t.Dim(0), done: make(chan batchResult, 1)}
+// its slice of the batched forward arrives, recording the batch-wait,
+// replica-wait and forward stages into tr.
+func (b *batcher) infer(name string, t *tensor.Tensor, tr *trace) (InferResponse, bool) {
+	r := &batchRequest{t: t, n: t.Dim(0), parked: time.Now(), done: make(chan batchResult, 1)}
 	if !b.enqueue(r) {
 		return InferResponse{}, false
 	}
 	res := <-r.done
+	tr.stages[stageBatchWait] = res.batchWait
+	tr.stages[stageQueue] = res.queueWait
+	tr.stages[stageForward] = res.forward
 	b.e.stats.InferRequests.Add(1)
 	b.e.stats.BatchedRequests.Add(1)
 	if res.coalesced {
@@ -192,7 +205,9 @@ func (b *batcher) run(batch []*batchRequest, total int) {
 		}
 	}
 
+	queueStart := time.Now()
 	m := e.checkout()
+	queueWait := time.Since(queueStart)
 	start := time.Now()
 	logits := m.ForwardMainRest(t, false)
 	elapsed := time.Since(start)
@@ -209,6 +224,9 @@ func (b *batcher) run(batch []*batchRequest, total int) {
 			probs:     make([]float32, logits.Dim(1)),
 			micros:    elapsed.Microseconds(),
 			coalesced: coalesced,
+			batchWait: queueStart.Sub(r.parked),
+			queueWait: queueWait,
+			forward:   elapsed,
 		}
 		tensor.SoftmaxRow(res.probs, logits.Row(off))
 		off += r.n

@@ -52,7 +52,7 @@ func TestBatchedBitwiseIdenticalToUnbatched(t *testing.T) {
 	}
 
 	// Reference: a plain server with batching off.
-	plain := NewServer()
+	plain := newServer(t)
 	if err := plain.Register("lenet-mnist", m); err != nil {
 		t.Fatal(err)
 	}
@@ -65,8 +65,7 @@ func TestBatchedBitwiseIdenticalToUnbatched(t *testing.T) {
 
 	// Batching server with a generous wait so the concurrent burst is
 	// guaranteed to coalesce rather than racing the deadline.
-	s := NewServer()
-	s.SetBatching(n, 500*time.Millisecond)
+	s := newServer(t, WithBatching(n, 500*time.Millisecond))
 	if err := s.Register("lenet-mnist", m); err != nil {
 		t.Fatal(err)
 	}
@@ -140,8 +139,7 @@ func TestBatchedBitwiseIdenticalToUnbatched(t *testing.T) {
 // fires and the batch of one proceeds.
 func TestBatcherDeadlineFiresForSingleRequest(t *testing.T) {
 	m := testModel(t)
-	s := NewServer()
-	s.SetBatching(8, 20*time.Millisecond)
+	s := newServer(t, WithBatching(8, 20*time.Millisecond))
 	if err := s.Register("lenet-mnist", m); err != nil {
 		t.Fatal(err)
 	}
@@ -173,8 +171,7 @@ func TestBatcherDeadlineFiresForSingleRequest(t *testing.T) {
 // queueing and must bypass the coalescing path entirely.
 func TestBatcherOversizedRequestBypasses(t *testing.T) {
 	m := testModel(t)
-	s := NewServer()
-	s.SetBatching(2, 500*time.Millisecond)
+	s := newServer(t, WithBatching(2, 500*time.Millisecond))
 	if err := s.Register("lenet-mnist", m); err != nil {
 		t.Fatal(err)
 	}
@@ -213,8 +210,7 @@ func TestBatcherOversizedRequestBypasses(t *testing.T) {
 // requests still get answers through the direct path.
 func TestBatcherCloseDrainsParkedRequests(t *testing.T) {
 	m := testModel(t)
-	s := NewServer()
-	s.SetBatching(64, 30*time.Second) // nothing fills this; only Close can flush
+	s := newServer(t, WithBatching(64, 30*time.Second)) // nothing fills this; only Close can flush
 	if err := s.Register("lenet-mnist", m); err != nil {
 		t.Fatal(err)
 	}

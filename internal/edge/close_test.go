@@ -1,0 +1,118 @@
+package edge
+
+import (
+	"bytes"
+	"net/http/httptest"
+	"runtime"
+	"sync"
+	"testing"
+	"time"
+
+	"lcrs/internal/collab"
+	"lcrs/internal/models"
+	"lcrs/internal/tensor"
+)
+
+// Close lifecycle hardening. The batcher tests cover drain semantics;
+// these cover the shutdown edges: repeated and concurrent Close calls,
+// traffic racing shutdown, and registration after shutdown (which must
+// not resurrect a coalescing goroutine a second Close would miss).
+
+func inferFrame(t testing.TB, m *models.Composite, seed int64) []byte {
+	t.Helper()
+	g := tensor.NewRNG(seed)
+	shared := m.ForwardShared(g.Uniform(-1, 1, 1, 1, 28, 28), false)
+	var buf bytes.Buffer
+	if err := collab.WriteTensor(&buf, shared); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+func TestCloseIdempotentAndConcurrent(t *testing.T) {
+	s := newServer(t, WithBatching(8, DefaultBatchWait))
+	if err := s.Register("demo", testModel(t)); err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			s.Close()
+		}()
+	}
+	wg.Wait()
+	s.Close() // and again, sequentially
+}
+
+// Registering after Close must serve without a batcher: otherwise the new
+// model's coalescing goroutine would outlive the (already completed)
+// shutdown and leak.
+func TestRegisterAfterCloseServesUnbatched(t *testing.T) {
+	s := newServer(t, WithBatching(8, 30*time.Second)) // only Close could flush a batch
+	if err := s.Register("old", testModel(t)); err != nil {
+		t.Fatal(err)
+	}
+	s.Close()
+
+	before := runtime.NumGoroutine()
+	m := testModel(t)
+	if err := s.Register("fresh", m); err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(s.Handler())
+	defer srv.Close()
+
+	// With a 30s deadline and no batcher, only the direct path can answer
+	// promptly.
+	start := time.Now()
+	ir := postInfer(t, srv.URL+"/v1/infer/fresh", inferFrame(t, m, 31))
+	if elapsed := time.Since(start); elapsed > 10*time.Second {
+		t.Fatalf("post-Close registration still batching: request took %v", elapsed)
+	}
+	if len(ir.Probs) == 0 {
+		t.Fatal("empty response after Close+Register")
+	}
+	s.Close() // second Close: nothing to drain, must return immediately
+
+	// No collect loop may linger. Goroutine counts are noisy (httptest,
+	// finished handlers), so only fail on growth beyond that noise.
+	time.Sleep(50 * time.Millisecond)
+	if after := runtime.NumGoroutine(); after > before+10 {
+		t.Fatalf("goroutines grew from %d to %d after post-Close Register", before, after)
+	}
+}
+
+// Traffic racing Close must always get answers — either through the final
+// drain or the direct fallback — and never panic on a closed batcher.
+func TestConcurrentCloseAndInfer(t *testing.T) {
+	s := newServer(t, WithBatching(4, time.Millisecond))
+	m := testModel(t)
+	if err := s.Register("demo", m); err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(s.Handler())
+	defer srv.Close()
+	frame := inferFrame(t, m, 32)
+
+	const workers = 8
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 5; i++ {
+				postInfer(t, srv.URL+"/v1/infer/demo", frame)
+			}
+		}()
+	}
+	time.Sleep(2 * time.Millisecond)
+	s.Close()
+	wg.Wait()
+
+	st := s.Stats()[0]
+	if st.InferRequests != workers*5 || st.InferErrors != 0 {
+		t.Fatalf("requests racing Close were lost: %+v", st)
+	}
+}

@@ -15,7 +15,7 @@ import (
 // server must decode every codec transparently, report which codec and how
 // many bytes arrived, and count the wire bytes in its serving stats.
 func TestInferCodecs(t *testing.T) {
-	s := NewServer()
+	s := newServer(t)
 	m := testModel(t)
 	if err := s.Register("lenet-mnist", m); err != nil {
 		t.Fatal(err)
@@ -87,19 +87,18 @@ func TestInferCodecs(t *testing.T) {
 	}
 }
 
-// TestSetCodecs covers negotiation policy: the restriction list controls
-// both the advertisement in the model listing and the 415 gate on infer,
-// with raw always allowed for v1 interop.
-func TestSetCodecs(t *testing.T) {
-	s := NewServer()
+// TestCodecRestriction covers negotiation policy: the restriction list
+// controls both the advertisement in the model listing and the 415 gate on
+// infer, with raw always allowed for v1 interop. Construction goes through
+// WithCodecs; the deprecated SetCodecs wrapper is exercised for runtime
+// re-negotiation.
+func TestCodecRestriction(t *testing.T) {
+	if _, err := New(WithCodecs("zstd")); err == nil {
+		t.Fatal("WithCodecs accepted unknown codec")
+	}
+	s := newServer(t, WithCodecs("f16"))
 	m := testModel(t)
 	if err := s.Register("lenet-mnist", m); err != nil {
-		t.Fatal(err)
-	}
-	if err := s.SetCodecs("zstd"); err == nil {
-		t.Fatal("SetCodecs accepted unknown codec")
-	}
-	if err := s.SetCodecs("f16"); err != nil {
 		t.Fatal(err)
 	}
 

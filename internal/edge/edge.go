@@ -3,12 +3,19 @@
 // branch) to web clients, and executes the rest of the main branch on
 // intermediate tensors received from clients whose binary branch was not
 // confident (Algorithm 2, server side).
+//
+// Construct servers with New and functional options (WithReplicas,
+// WithBatching, WithCodecs, WithLogger, WithMetrics); the mutable Set*
+// methods remain only as deprecated wrappers. Serving state is observable
+// two ways: GET /v1/stats returns per-model JSON counters, and GET
+// /metrics serves the same counters plus per-stage latency histograms in
+// the Prometheus text format (see DESIGN.md section 10).
 package edge
 
 import (
+	"bytes"
 	"encoding/json"
 	"fmt"
-	"io"
 	"log"
 	"net/http"
 	"runtime"
@@ -20,6 +27,7 @@ import (
 	"lcrs/internal/collab"
 	"lcrs/internal/modelio"
 	"lcrs/internal/models"
+	"lcrs/internal/obs"
 	"lcrs/internal/tensor"
 )
 
@@ -39,6 +47,10 @@ type InferResponse struct {
 	Codec string `json:"codec,omitempty"`
 	// PayloadBytes is the size of the request frame as received.
 	PayloadBytes int64 `json:"payload_bytes,omitempty"`
+	// Stages echoes the server-side stage breakdown of this request
+	// (read/decode/queue/batch-wait/forward) so clients can reconstruct
+	// the paper's Fig. 8-style latency decomposition from measurements.
+	Stages *StageMicros `json:"stages,omitempty"`
 }
 
 // ModelInfo describes one hosted model in the listing endpoint. Codecs
@@ -71,7 +83,7 @@ type entry struct {
 	// when the server has batching enabled; nil otherwise (the default).
 	batcher *batcher
 
-	stats modelStats
+	stats *modelStats
 }
 
 // checkout borrows a forward context from the pool, blocking until one is
@@ -85,36 +97,39 @@ func (e *entry) checkin(m *models.Composite) { e.replicas <- m }
 // batch a single forward can carry.
 var batchHistBounds = []int{1, 2, 4, 8, 16, 32, 64, 128, maxInferBatch}
 
-// modelStats tracks per-model serving counters. Counters are atomics so
-// request paths never serialize on a stats lock.
+// modelStats tracks per-model serving counters and stage histograms. The
+// counters live in the server's obs registry, so one atomic add updates
+// both the /v1/stats JSON and the /metrics exposition; request paths
+// never serialize on a stats lock.
 type modelStats struct {
-	InferRequests   atomic.Int64
-	InferErrors     atomic.Int64
-	BundleDownloads atomic.Int64
-	ComputeMicros   atomic.Int64
-	PayloadBytes    atomic.Int64
+	InferRequests   *obs.Counter
+	InferErrors     *obs.Counter
+	BundleDownloads *obs.Counter
+	PayloadBytes    *obs.Counter
 
 	// Micro-batching counters: requests served through the coalescing
 	// path, the subset that shared a forward with at least one other
-	// request, the number of batched forwards, and a histogram of batch
-	// sample counts (bucket i counts batches of size <= batchHistBounds[i]
-	// and > the previous bound).
-	BatchedRequests   atomic.Int64
-	CoalescedRequests atomic.Int64
-	Batches           atomic.Int64
-	batchHist         [9]atomic.Int64
+	// request, and the number of batched forwards.
+	BatchedRequests   *obs.Counter
+	CoalescedRequests *obs.Counter
+	Batches           *obs.Counter
+	// batchSize buckets batched forwards by sample count (batchHistBounds).
+	batchSize *obs.Histogram
+
+	// stage holds one latency histogram per pipeline stage (trace.go).
+	stage [numStages]*obs.Histogram
+
+	// codec counts served frames per wire codec, precreated for every
+	// registered codec so the hot path never touches the registry mutex.
+	codec map[collab.CodecID]*obs.Counter
+
+	// ComputeMicros backs the AvgComputeMicros JSON field; the forward
+	// stage histogram carries the same information in seconds for /metrics.
+	ComputeMicros atomic.Int64
 }
 
 // observeBatch records one batched forward of n samples in the histogram.
-func (s *modelStats) observeBatch(n int) {
-	for i, le := range batchHistBounds {
-		if n <= le {
-			s.batchHist[i].Add(1)
-			return
-		}
-	}
-	s.batchHist[len(s.batchHist)-1].Add(1)
-}
+func (s *modelStats) observeBatch(n int) { s.batchSize.Observe(float64(n)) }
 
 // ModelStats is the JSON form of one model's serving counters.
 type ModelStats struct {
@@ -159,21 +174,37 @@ type Server struct {
 	// codecs is the set of accepted offload wire codec ids; nil means
 	// every codec internal/collab supports.
 	codecs map[collab.CodecID]bool
+	// metrics is the observability registry serving GET /metrics; always
+	// non-nil for servers built with New (WithMetrics injects a shared
+	// one).
+	metrics *obs.Registry
+	// closed is set by Close; models registered afterwards are served
+	// without a batcher so no coalescing goroutine outlives shutdown.
+	closed bool
 }
 
-// NewServer creates an empty edge server. Each registered model gets a
-// forward-context pool sized to runtime.NumCPU(); use SetReplicas to
-// override before registering.
-func NewServer() *Server { return &Server{entries: map[string]*entry{}} }
+// NewServer creates an empty edge server.
+//
+// Deprecated: use New, which applies configuration through functional
+// options before any model can be registered.
+func NewServer() *Server {
+	s, _ := New() // no options: cannot fail
+	return s
+}
 
 // SetLogger enables per-request logging (method, path, status, duration).
 // Pass nil to disable. Set before serving; not synchronized with requests.
+//
+// Deprecated: use New(WithLogger(l)).
 func (s *Server) SetLogger(l *log.Logger) { s.logger = l }
 
 // SetReplicas sets the forward-context pool size used by subsequent
 // Register calls. n <= 0 restores the default, runtime.NumCPU(). Larger
 // pools admit more concurrent inferences at the cost of one set of scratch
 // buffers each; already-registered models are unaffected.
+//
+// Deprecated: use New(WithReplicas(n)), which cannot be misordered
+// against Register.
 func (s *Server) SetReplicas(n int) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -189,13 +220,15 @@ func (s *Server) replicasFor() int {
 }
 
 // SetBatching enables dynamic cross-request micro-batching for models
-// registered afterwards: concurrent /v1/infer requests for one model are
-// coalesced into a single batched forward once the pending sample count
-// reaches max or wait expires, whichever is first. max <= 1 disables
-// batching (the default); wait <= 0 uses DefaultBatchWait. Requests whose
-// own batch already reaches max (e.g. pre-batched RecognizeBatch uploads)
-// bypass coalescing. Like SetReplicas, call before Register.
+// registered afterwards; see WithBatching for the semantics.
+//
+// Deprecated: use New(WithBatching(max, wait)), which cannot be
+// misordered against Register.
 func (s *Server) SetBatching(max int, wait time.Duration) {
+	s.setBatching(max, wait)
+}
+
+func (s *Server) setBatching(max int, wait time.Duration) {
 	if max > maxInferBatch {
 		max = maxInferBatch
 	}
@@ -208,17 +241,20 @@ func (s *Server) SetBatching(max int, wait time.Duration) {
 // Close stops every model's batcher, flushing parked requests through a
 // final batched forward each. Requests that race with shutdown fall back
 // to the direct per-request path, so in-flight HTTP handlers always get
-// an answer; requests arriving after Close are served unbatched. Safe to
-// call more than once (batcher shutdown is idempotent).
+// an answer; requests arriving after Close are served unbatched. Close is
+// idempotent and safe to call concurrently with requests; models
+// registered after Close never get a batcher, so repeated Close calls
+// cannot leave a coalescing goroutine behind.
 func (s *Server) Close() {
-	s.mu.RLock()
+	s.mu.Lock()
+	s.closed = true
 	var closing []*batcher
 	for _, e := range s.entries {
 		if e.batcher != nil {
 			closing = append(closing, e.batcher)
 		}
 	}
-	s.mu.RUnlock()
+	s.mu.Unlock()
 	for _, b := range closing {
 		b.close()
 	}
@@ -228,7 +264,14 @@ func (s *Server) Close() {
 // advertises) to the named ones. The raw codec is always accepted so v1
 // clients keep working. Passing no names restores the default: every
 // codec internal/collab supports.
+//
+// Deprecated: use New(WithCodecs(names...)); SetCodecs remains for
+// runtime re-negotiation scenarios and tests.
 func (s *Server) SetCodecs(names ...string) error {
+	return s.setCodecs(names...)
+}
+
+func (s *Server) setCodecs(names ...string) error {
 	if len(names) == 0 {
 		s.mu.Lock()
 		s.codecs = nil
@@ -268,9 +311,15 @@ func (s *Server) codecNamesLocked() []string {
 	return names
 }
 
+// Metrics returns the server's observability registry — the one GET
+// /metrics serves. Callers embedding the edge API under a larger mux can
+// expose it elsewhere or add their own metrics to it.
+func (s *Server) Metrics() *obs.Registry { return s.metrics }
+
 // Register adds a trained model under the given name, precomputing its
 // browser bundle and building the inference replica pool. Registering the
-// same name twice replaces the model.
+// same name twice replaces the model; its metric series continue (counters
+// must never go backwards).
 func (s *Server) Register(name string, m *models.Composite) error {
 	if name == "" || strings.ContainsAny(name, "/ ") {
 		return fmt.Errorf("edge: invalid model name %q", name)
@@ -295,8 +344,8 @@ func (s *Server) Register(name string, m *models.Composite) error {
 		}
 		pool <- r
 	}
-	e := &entry{model: m, bundle: bundle, replicas: pool}
-	if s.batchMax > 1 {
+	e := &entry{model: m, bundle: bundle, replicas: pool, stats: newModelStats(s.metrics, name)}
+	if s.batchMax > 1 && !s.closed {
 		// The batcher is written exactly once, before the entry is
 		// published; handlers read it without further synchronization.
 		e.batcher = newBatcher(e, s.batchMax, s.batchWait)
@@ -334,7 +383,9 @@ func (s *Server) lookup(name string) (*entry, bool) {
 }
 
 // Stats snapshots per-model serving counters. Counters are read with
-// atomic loads, so a snapshot taken under load is per-field consistent.
+// atomic loads, so a snapshot taken under load is per-field consistent,
+// and the values are the same atomics /metrics exposes, so the two views
+// reconcile by construction.
 func (s *Server) Stats() []ModelStats {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
@@ -342,20 +393,25 @@ func (s *Server) Stats() []ModelStats {
 	for name, e := range s.entries {
 		st := ModelStats{
 			Name:              name,
-			InferRequests:     e.stats.InferRequests.Load(),
-			InferErrors:       e.stats.InferErrors.Load(),
-			BundleDownloads:   e.stats.BundleDownloads.Load(),
-			PayloadBytes:      e.stats.PayloadBytes.Load(),
-			BatchedRequests:   e.stats.BatchedRequests.Load(),
-			CoalescedRequests: e.stats.CoalescedRequests.Load(),
-			Batches:           e.stats.Batches.Load(),
+			InferRequests:     e.stats.InferRequests.Value(),
+			InferErrors:       e.stats.InferErrors.Value(),
+			BundleDownloads:   e.stats.BundleDownloads.Value(),
+			PayloadBytes:      e.stats.PayloadBytes.Value(),
+			BatchedRequests:   e.stats.BatchedRequests.Value(),
+			CoalescedRequests: e.stats.CoalescedRequests.Value(),
+			Batches:           e.stats.Batches.Value(),
 		}
 		if ok := st.InferRequests - st.InferErrors; ok > 0 {
 			st.AvgComputeMicros = e.stats.ComputeMicros.Load() / ok
 		}
 		if st.Batches > 0 {
+			_, counts := e.stats.batchSize.Buckets()
+			// Overflow cannot occur (batches are capped at maxInferBatch,
+			// the last bound), but fold it into the last bucket anyway so
+			// the histogram never silently drops a count.
+			counts[len(counts)-2] += counts[len(counts)-1]
 			for i, le := range batchHistBounds {
-				if c := e.stats.batchHist[i].Load(); c > 0 {
+				if c := counts[i]; c > 0 {
 					st.BatchSizeHist = append(st.BatchSizeHist, HistBucket{Le: le, Count: c})
 				}
 			}
@@ -369,8 +425,10 @@ func (s *Server) Stats() []ModelStats {
 //
 //	GET  /v1/healthz         liveness probe
 //	GET  /v1/models          JSON list of hosted models
+//	GET  /v1/stats           JSON per-model serving counters
 //	GET  /v1/bundle/{name}   browser bundle for a model
 //	POST /v1/infer/{name}    tensor frame in, InferResponse out
+//	GET  /metrics            Prometheus text exposition
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/v1/healthz", func(w http.ResponseWriter, r *http.Request) {
@@ -382,6 +440,13 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("/v1/stats", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, s.Stats())
 	})
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		if err := s.metrics.WritePrometheus(w); err != nil {
+			// Headers are gone; nothing useful to do.
+			_ = err
+		}
+	})
 	mux.HandleFunc("/v1/bundle/", func(w http.ResponseWriter, r *http.Request) {
 		name := strings.TrimPrefix(r.URL.Path, "/v1/bundle/")
 		e, ok := s.lookup(name)
@@ -389,82 +454,99 @@ func (s *Server) Handler() http.Handler {
 			http.Error(w, fmt.Sprintf("unknown model %q", name), http.StatusNotFound)
 			return
 		}
-		e.stats.BundleDownloads.Add(1)
+		e.stats.BundleDownloads.Inc()
 		w.Header().Set("Content-Type", "application/octet-stream")
 		w.Header().Set("Content-Length", fmt.Sprint(len(e.bundle)))
 		w.Write(e.bundle)
 	})
-	mux.HandleFunc("/v1/infer/", func(w http.ResponseWriter, r *http.Request) {
-		if r.Method != http.MethodPost {
-			http.Error(w, "POST required", http.StatusMethodNotAllowed)
-			return
-		}
-		name := strings.TrimPrefix(r.URL.Path, "/v1/infer/")
-		e, ok := s.lookup(name)
-		if !ok {
-			http.Error(w, fmt.Sprintf("unknown model %q", name), http.StatusNotFound)
-			return
-		}
-		body := &countingReader{r: r.Body}
-		t, codecID, err := collab.ReadFrame(body)
-		if err != nil {
-			e.stats.InferRequests.Add(1)
-			e.stats.InferErrors.Add(1)
-			http.Error(w, err.Error(), http.StatusBadRequest)
-			return
-		}
-		if !s.codecAccepted(codecID) {
-			e.stats.InferRequests.Add(1)
-			e.stats.InferErrors.Add(1)
-			http.Error(w, fmt.Sprintf("codec 0x%02x not enabled on this server", uint8(codecID)),
-				http.StatusUnsupportedMediaType)
-			return
-		}
-		e.stats.PayloadBytes.Add(body.n)
-		t, err = normalizeIntermediate(e, t)
-		if err != nil {
-			e.stats.InferRequests.Add(1)
-			e.stats.InferErrors.Add(1)
-			http.Error(w, err.Error(), http.StatusBadRequest)
-			return
-		}
-		var resp InferResponse
-		// A request whose own batch already fills the cap gains nothing
-		// from coalescing (and would only add queueing delay), so it goes
-		// straight to a replica; so does everything when batching is off
-		// or the batcher is shutting down.
-		if b := e.batcher; b != nil && t.Dim(0) < b.max {
-			var ok bool
-			if resp, ok = b.infer(name, t); !ok {
-				resp = inferOn(name, e, t)
-			}
-		} else {
-			resp = inferOn(name, e, t)
-		}
-		if c, cerr := collab.CodecByID(codecID); cerr == nil {
-			resp.Codec = c.Name()
-		}
-		resp.PayloadBytes = body.n
-		writeJSON(w, http.StatusOK, resp)
-	})
+	mux.HandleFunc("/v1/infer/", s.handleInfer)
 	if s.logger != nil {
 		return logRequests(s.logger, mux)
 	}
 	return mux
 }
 
-// countingReader counts bytes as the frame decoder consumes them, so the
-// server can attribute received payload bytes per model without buffering
-// the body.
-type countingReader struct {
-	r io.Reader
-	n int64
-}
+// handleInfer serves one offloaded inference, tracing every stage of the
+// pipeline (trace.go) into the model's histograms.
+func (s *Server) handleInfer(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "POST required", http.StatusMethodNotAllowed)
+		return
+	}
+	name := strings.TrimPrefix(r.URL.Path, "/v1/infer/")
+	e, ok := s.lookup(name)
+	if !ok {
+		http.Error(w, fmt.Sprintf("unknown model %q", name), http.StatusNotFound)
+		return
+	}
+	var tr trace
+	body := &timingReader{r: r.Body}
+	decodeStart := time.Now()
+	t, codecID, err := collab.ReadFrame(body)
+	tr.stages[stageRead] = body.took
+	tr.stages[stageDecode] = time.Since(decodeStart) - body.took
+	if err != nil {
+		e.stats.InferRequests.Inc()
+		e.stats.InferErrors.Inc()
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	if !s.codecAccepted(codecID) {
+		e.stats.InferRequests.Inc()
+		e.stats.InferErrors.Inc()
+		http.Error(w, fmt.Sprintf("codec 0x%02x not enabled on this server", uint8(codecID)),
+			http.StatusUnsupportedMediaType)
+		return
+	}
+	e.stats.PayloadBytes.Add(body.n)
+	t, err = normalizeIntermediate(e, t)
+	if err != nil {
+		e.stats.InferRequests.Inc()
+		e.stats.InferErrors.Inc()
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	var resp InferResponse
+	// A request whose own batch already fills the cap gains nothing
+	// from coalescing (and would only add queueing delay), so it goes
+	// straight to a replica; so does everything when batching is off
+	// or the batcher is shutting down.
+	if b := e.batcher; b != nil && t.Dim(0) < b.max {
+		var ok bool
+		if resp, ok = b.infer(name, t, &tr); !ok {
+			resp = inferOn(name, e, t, &tr)
+		}
+	} else {
+		resp = inferOn(name, e, t, &tr)
+	}
+	if c, cerr := collab.CodecByID(codecID); cerr == nil {
+		resp.Codec = c.Name()
+	}
+	if ctr := e.stats.codec[codecID]; ctr != nil {
+		ctr.Inc()
+	}
+	resp.PayloadBytes = body.n
+	resp.Stages = tr.echo()
 
-func (c *countingReader) Read(p []byte) (int, error) {
-	n, err := c.r.Read(p)
-	c.n += int64(n)
-	return n, err
+	// Encode and write are traced separately from the JSON helper so the
+	// exposition can attribute marshalling vs. wire time.
+	encodeStart := time.Now()
+	var buf bytes.Buffer
+	encodeErr := json.NewEncoder(&buf).Encode(resp)
+	tr.stages[stageEncode] = time.Since(encodeStart)
+	if encodeErr != nil {
+		e.stats.InferErrors.Inc()
+		http.Error(w, encodeErr.Error(), http.StatusInternalServerError)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	writeStart := time.Now()
+	_, writeErr := w.Write(buf.Bytes())
+	tr.stages[stageWrite] = time.Since(writeStart)
+	// A failed response write is the client's disconnect, not a serving
+	// error; the stage histograms still record the attempt.
+	_ = writeErr
+	tr.observeInto(e.stats)
 }
 
 // statusRecorder captures the response status for request logging.
@@ -522,18 +604,22 @@ func normalizeIntermediate(e *entry, t *tensor.Tensor) (*tensor.Tensor, error) {
 }
 
 // inferOn runs the main-branch rest on a normalized intermediate batch,
-// on a forward context checked out of the entry's replica pool. Only the
-// first sample's softmax is materialized — the response carries one
-// probability vector, so computing the whole batch's rows was wasted
-// work (per-sample probabilities can ride in a ProbsBatch field if a
-// caller ever needs them).
-func inferOn(name string, e *entry, t *tensor.Tensor) InferResponse {
+// on a forward context checked out of the entry's replica pool, recording
+// the replica wait and forward time in tr. Only the first sample's
+// softmax is materialized — the response carries one probability vector,
+// so computing the whole batch's rows was wasted work (per-sample
+// probabilities can ride in a ProbsBatch field if a caller ever needs
+// them).
+func inferOn(name string, e *entry, t *tensor.Tensor, tr *trace) InferResponse {
+	queueStart := time.Now()
 	m := e.checkout()
+	tr.stages[stageQueue] = time.Since(queueStart)
 	start := time.Now()
 	logits := m.ForwardMainRest(t, false)
 	elapsed := time.Since(start)
 	e.checkin(m)
-	e.stats.InferRequests.Add(1)
+	tr.stages[stageForward] = elapsed
+	e.stats.InferRequests.Inc()
 	e.stats.ComputeMicros.Add(elapsed.Microseconds())
 
 	probs := make([]float32, logits.Dim(1))

@@ -13,7 +13,7 @@ import (
 	"lcrs/internal/tensor"
 )
 
-func testModel(t *testing.T) *models.Composite {
+func testModel(t testing.TB) *models.Composite {
 	t.Helper()
 	m, err := models.Build("lenet", models.Config{
 		Classes: 10, InC: 1, InH: 28, InW: 28, WidthScale: 0.08, Seed: 1,
@@ -24,8 +24,19 @@ func testModel(t *testing.T) *models.Composite {
 	return m
 }
 
+// newServer constructs a server through the options API, failing the test
+// on construction errors (only possible with invalid options).
+func newServer(t testing.TB, opts ...Option) *Server {
+	t.Helper()
+	s, err := New(opts...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
 func TestRegisterValidation(t *testing.T) {
-	s := NewServer()
+	s := newServer(t)
 	m := testModel(t)
 	for _, bad := range []string{"", "a/b", "a b"} {
 		if err := s.Register(bad, m); err == nil {
@@ -45,7 +56,7 @@ func TestRegisterValidation(t *testing.T) {
 }
 
 func TestHTTPEndpoints(t *testing.T) {
-	s := NewServer()
+	s := newServer(t)
 	m := testModel(t)
 	if err := s.Register("lenet-mnist", m); err != nil {
 		t.Fatal(err)
@@ -150,7 +161,7 @@ func TestHTTPEndpoints(t *testing.T) {
 // evaluation — the edge server is shared by many browsers in the paper's
 // topology (Figure 8).
 func TestConcurrentInference(t *testing.T) {
-	s := NewServer()
+	s := newServer(t)
 	m := testModel(t)
 	if err := s.Register("lenet-mnist", m); err != nil {
 		t.Fatal(err)

@@ -9,13 +9,12 @@ import (
 )
 
 func TestRequestLogging(t *testing.T) {
-	s := NewServer()
+	var sb strings.Builder
+	s := newServer(t, WithLogger(log.New(&sb, "", 0)))
 	m := testModel(t)
 	if err := s.Register("demo", m); err != nil {
 		t.Fatal(err)
 	}
-	var sb strings.Builder
-	s.SetLogger(log.New(&sb, "", 0))
 	srv := httptest.NewServer(s.Handler())
 	defer srv.Close()
 
@@ -40,7 +39,7 @@ func TestRequestLogging(t *testing.T) {
 }
 
 func TestRegisterReplacesModel(t *testing.T) {
-	s := NewServer()
+	s := newServer(t)
 	m := testModel(t)
 	if err := s.Register("demo", m); err != nil {
 		t.Fatal(err)

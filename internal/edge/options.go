@@ -1,0 +1,91 @@
+package edge
+
+import (
+	"log"
+	"time"
+
+	"lcrs/internal/obs"
+)
+
+// Option configures a Server at construction. Options are applied in
+// order by New, before any model is registered, which is exactly when
+// the pool size, batching and codec policy must be known — the mutable
+// Set* methods they replace were order-sensitive footguns (calling
+// SetReplicas after Register silently did nothing for existing models).
+//
+// The webclient package configures its Client the same way; the two ends
+// of the wire share one construction idiom.
+type Option func(*Server) error
+
+// New creates an edge server configured by the given options:
+//
+//	srv, err := edge.New(
+//		edge.WithReplicas(8),
+//		edge.WithBatching(16, edge.DefaultBatchWait),
+//		edge.WithCodecs("f16", "q8"),
+//	)
+//
+// With no options the server behaves like the zero configuration: a
+// replica pool of runtime.NumCPU() per model, no micro-batching, every
+// supported offload codec accepted, no request logging, and a private
+// metrics registry served at GET /metrics.
+func New(opts ...Option) (*Server, error) {
+	s := &Server{entries: map[string]*entry{}, metrics: obs.NewRegistry()}
+	for _, opt := range opts {
+		if err := opt(s); err != nil {
+			return nil, err
+		}
+	}
+	return s, nil
+}
+
+// WithReplicas sets the per-model forward-context pool size. n <= 0
+// keeps the default, runtime.NumCPU(). Larger pools admit more
+// concurrent inferences at the cost of one set of scratch buffers each.
+func WithReplicas(n int) Option {
+	return func(s *Server) error {
+		s.replicas = n
+		return nil
+	}
+}
+
+// WithBatching enables dynamic cross-request micro-batching: concurrent
+// /v1/infer requests for one model are coalesced into a single batched
+// forward once the pending sample count reaches max or wait expires,
+// whichever is first. max <= 1 disables batching (the default); wait <= 0
+// uses DefaultBatchWait.
+func WithBatching(max int, wait time.Duration) Option {
+	return func(s *Server) error {
+		s.setBatching(max, wait)
+		return nil
+	}
+}
+
+// WithCodecs restricts the offload wire codecs the server accepts (and
+// advertises) to the named ones. The raw codec is always accepted so v1
+// clients keep working; unknown codec names fail construction.
+func WithCodecs(names ...string) Option {
+	return func(s *Server) error {
+		return s.setCodecs(names...)
+	}
+}
+
+// WithLogger enables per-request logging (method, path, status,
+// duration). A nil logger disables logging, the default.
+func WithLogger(l *log.Logger) Option {
+	return func(s *Server) error {
+		s.logger = l
+		return nil
+	}
+}
+
+// WithMetrics makes the server record its counters and stage histograms
+// into reg instead of a private registry — the way to aggregate several
+// servers (or a server plus application metrics) into one /metrics
+// exposition. The registry must outlive the server.
+func WithMetrics(reg *obs.Registry) Option {
+	return func(s *Server) error {
+		s.metrics = reg
+		return nil
+	}
+}

@@ -12,7 +12,7 @@ import (
 )
 
 func TestStatsCounters(t *testing.T) {
-	s := NewServer()
+	s := newServer(t)
 	m := testModel(t)
 	if err := s.Register("demo", m); err != nil {
 		t.Fatal(err)
@@ -83,7 +83,7 @@ func TestStatsCounters(t *testing.T) {
 }
 
 func TestStatsEmptyServer(t *testing.T) {
-	s := NewServer()
+	s := newServer(t)
 	if got := s.Stats(); len(got) != 0 {
 		t.Fatalf("empty server stats = %+v", got)
 	}

@@ -27,8 +27,7 @@ func TestStressConcurrentInference(t *testing.T) {
 		predictions = workers * perWorker
 	)
 
-	s := NewServer()
-	s.SetReplicas(poolSize)
+	s := newServer(t, WithReplicas(poolSize))
 	m := testModel(t)
 	if err := s.Register("lenet-mnist", m); err != nil {
 		t.Fatal(err)
@@ -97,11 +96,10 @@ func TestStressConcurrentInference(t *testing.T) {
 	}
 }
 
-// SetReplicas must bound live forward contexts: a pool of one serializes,
+// WithReplicas must bound live forward contexts: a pool of one serializes,
 // and every checkout must return the context it borrowed.
 func TestReplicaPoolBounded(t *testing.T) {
-	s := NewServer()
-	s.SetReplicas(2)
+	s := newServer(t, WithReplicas(2))
 	m := testModel(t)
 	if err := s.Register("demo", m); err != nil {
 		t.Fatal(err)

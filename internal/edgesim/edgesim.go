@@ -121,6 +121,13 @@ type Result struct {
 	Batches int
 	// MeanBatch is Served / Batches.
 	MeanBatch float64
+	// MeanHold is the mean coalescing hold per request: time spent parked
+	// for batch peers or the deadline, before the server could have taken
+	// the request anyway. Zero with batching off. This is the simulated
+	// counterpart of the edge server's batch_wait stage histogram (the
+	// stage="batch_wait" series of lcrs_edge_stage_seconds), so simulated
+	// and measured batching policies can be cross-checked directly.
+	MeanHold time.Duration
 }
 
 // arrivalHeap orders event times.
@@ -175,7 +182,7 @@ func Run(w Workload) (Result, error) {
 	// stragglers can amortize the setup, firing early the moment it fills.
 	// With batchMax = 1 this reduces exactly to the classic per-request
 	// model (and to the pre-batching accounting when setup is zero).
-	var busyUntil, busyTotal float64
+	var busyUntil, busyTotal, holdTotal float64
 	var waits, sojourns []float64
 	batches := 0
 	i := 0
@@ -208,6 +215,11 @@ func Run(w Workload) (Result, error) {
 		for ; i < j; i++ {
 			waits = append(waits, start-arrivals[i])
 			sojourns = append(sojourns, finish-arrivals[i])
+			// The coalescing hold: the request was takeable at its arrival
+			// or the window opening, whichever came later, but the batch
+			// fired at start. The edge batcher measures the same quantity
+			// as queueStart - parked.
+			holdTotal += start - math.Max(arrivals[i], open)
 		}
 	}
 
@@ -234,6 +246,7 @@ func Run(w Workload) (Result, error) {
 	dur := func(s float64) time.Duration { return time.Duration(s * float64(time.Second)) }
 	res.MeanWait = dur(mean(waits))
 	res.P95Wait = dur(waits[(len(waits)*95)/100])
+	res.MeanHold = dur(holdTotal / float64(res.Served))
 	res.Transfer = w.TransferTime()
 	res.MeanSojourn = res.Transfer + dur(mean(sojourns))
 	res.P50Sojourn = res.Transfer + dur(sojourns[len(sojourns)/2])

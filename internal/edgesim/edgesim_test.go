@@ -262,3 +262,53 @@ func TestBatchWaitCostsIdleTraffic(t *testing.T) {
 		t.Fatalf("lone requests must pay the deadline, mean wait %v", res.MeanWait)
 	}
 }
+
+// MeanHold isolates the coalescing delay: zero without batching, the full
+// deadline for a trickle of lone requests, and bounded by the deadline in
+// general. It is the simulated counterpart of the edge server's
+// batch_wait stage histogram, so the two are directly comparable.
+func TestMeanHoldTracksCoalescingDelay(t *testing.T) {
+	w := baseWorkload()
+	unbatched, err := Run(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if unbatched.MeanHold != 0 {
+		t.Fatalf("unbatched run must have zero hold, got %v", unbatched.MeanHold)
+	}
+
+	w.Clients = 1
+	w.RequestRate = 0.5 // lone requests: every batch waits out the deadline
+	w.BatchMax = 8
+	w.BatchWait = 10 * time.Millisecond
+	trickle, err := Run(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if trickle.MeanHold < 9*time.Millisecond || trickle.MeanHold > 10*time.Millisecond {
+		t.Fatalf("trickle hold %v, want ~BatchWait (10ms)", trickle.MeanHold)
+	}
+	// The hold is part of the wait, never beyond it.
+	if trickle.MeanHold > trickle.MeanWait {
+		t.Fatalf("hold %v exceeds wait %v", trickle.MeanHold, trickle.MeanWait)
+	}
+
+	// Under saturation batches fill before the deadline, so the mean hold
+	// stays below the full wait even though every request is held briefly.
+	w = baseWorkload()
+	w.Clients = 60
+	w.ServiceTime = 4 * time.Millisecond
+	w.SetupTime = 16 * time.Millisecond
+	w.BatchMax = 16
+	w.BatchWait = 2 * time.Millisecond
+	loaded, err := Run(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded.MeanHold <= 0 {
+		t.Fatalf("batched run under load must hold requests, got %v", loaded.MeanHold)
+	}
+	if loaded.MeanHold > w.BatchWait {
+		t.Fatalf("hold %v exceeds the %v deadline", loaded.MeanHold, w.BatchWait)
+	}
+}

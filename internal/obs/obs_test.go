@@ -1,0 +1,177 @@
+package obs
+
+import (
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestCounterGetOrCreate(t *testing.T) {
+	r := NewRegistry()
+	a := r.Counter("reqs_total", "requests", Label{"model", "demo"})
+	b := r.Counter("reqs_total", "requests", Label{"model", "demo"})
+	if a != b {
+		t.Fatal("same (name, labels) must return the same counter")
+	}
+	c := r.Counter("reqs_total", "requests", Label{"model", "other"})
+	if a == c {
+		t.Fatal("distinct labels must return distinct counters")
+	}
+	a.Inc()
+	a.Add(2)
+	if a.Value() != 3 || c.Value() != 0 {
+		t.Fatalf("counter values: %d, %d", a.Value(), c.Value())
+	}
+}
+
+func TestHistogramBuckets(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("lat_seconds", "latency", []float64{0.001, 0.01, 0.1})
+	h.Observe(0.0005) // first bucket (le=0.001)
+	h.Observe(0.001)  // inclusive upper bound: still le=0.001
+	h.Observe(0.05)   // le=0.1
+	h.Observe(3)      // +Inf overflow
+	bounds, counts := h.Buckets()
+	if len(bounds) != 3 || len(counts) != 4 {
+		t.Fatalf("layout: %v / %v", bounds, counts)
+	}
+	want := []int64{2, 0, 1, 1}
+	for i, c := range counts {
+		if c != want[i] {
+			t.Fatalf("bucket counts = %v, want %v", counts, want)
+		}
+	}
+	if h.Count() != 4 {
+		t.Fatalf("count = %d", h.Count())
+	}
+	if got := h.Sum(); got < 3.05 || got > 3.06 {
+		t.Fatalf("sum = %v", got)
+	}
+	h.ObserveDuration(2 * time.Millisecond)
+	if h.Count() != 5 {
+		t.Fatal("ObserveDuration must count")
+	}
+}
+
+func TestExpositionFormat(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("lcrs_requests_total", "Requests served.", Label{"model", "demo"}).Add(7)
+	h := r.Histogram("lcrs_stage_seconds", "Stage latency.",
+		[]float64{0.001, 0.01}, Label{"model", "demo"}, Label{"stage", "forward"})
+	h.Observe(0.0005)
+	h.Observe(0.5)
+
+	var sb strings.Builder
+	if err := r.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{
+		"# TYPE lcrs_requests_total counter",
+		`lcrs_requests_total{model="demo"} 7`,
+		"# TYPE lcrs_stage_seconds histogram",
+		`lcrs_stage_seconds_bucket{model="demo",stage="forward",le="0.001"} 1`,
+		`lcrs_stage_seconds_bucket{model="demo",stage="forward",le="0.01"} 1`,
+		`lcrs_stage_seconds_bucket{model="demo",stage="forward",le="+Inf"} 2`,
+		`lcrs_stage_seconds_sum{model="demo",stage="forward"} 0.5005`,
+		`lcrs_stage_seconds_count{model="demo",stage="forward"} 2`,
+	} {
+		if !strings.Contains(out, want+"\n") {
+			t.Fatalf("exposition missing %q:\n%s", want, out)
+		}
+	}
+	// Families must be sorted by name: the counter comes first.
+	if strings.Index(out, "lcrs_requests_total") > strings.Index(out, "lcrs_stage_seconds") {
+		t.Fatalf("families not sorted:\n%s", out)
+	}
+}
+
+func TestExpositionStableAcrossScrapes(t *testing.T) {
+	r := NewRegistry()
+	for _, m := range []string{"b", "a", "c"} {
+		r.Counter("x_total", "x", Label{"model", m}).Inc()
+	}
+	var one, two strings.Builder
+	if err := r.WritePrometheus(&one); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.WritePrometheus(&two); err != nil {
+		t.Fatal(err)
+	}
+	if one.String() != two.String() {
+		t.Fatal("scrapes of an unchanged registry must be byte-identical")
+	}
+	if !strings.Contains(one.String(), "model=\"a\"} 1\nx_total{model=\"b\"}") {
+		t.Fatalf("series not sorted by labels:\n%s", one.String())
+	}
+}
+
+func TestLabelEscaping(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("esc_total", "", Label{"v", "a\"b\\c\nd"}).Inc()
+	var sb strings.Builder
+	if err := r.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), `esc_total{v="a\"b\\c\nd"} 1`) {
+		t.Fatalf("escaping wrong:\n%s", sb.String())
+	}
+}
+
+func TestInvalidNamesPanic(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("ok_total", "")
+	for _, fn := range []func(){
+		func() { r.Counter("9bad", "") },
+		func() { r.Counter("ok_total", "", Label{"0key", "v"}) },
+		func() { r.Histogram("ok_total", "", nil) }, // type conflict with counter
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("expected panic")
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+// Concurrent observation and scraping must be race-free and lose nothing:
+// the counter and histogram totals must equal the number of operations.
+func TestConcurrentObserveAndScrape(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("conc_total", "")
+	h := r.Histogram("conc_seconds", "", LatencyBuckets())
+	const workers, per = 8, 500
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				c.Inc()
+				h.Observe(0.001)
+			}
+		}()
+	}
+	// Scrape while observers run; output validity is checked after.
+	for i := 0; i < 10; i++ {
+		var sb strings.Builder
+		if err := r.WritePrometheus(&sb); err != nil {
+			t.Fatal(err)
+		}
+	}
+	wg.Wait()
+	if c.Value() != workers*per {
+		t.Fatalf("counter = %d, want %d", c.Value(), workers*per)
+	}
+	if h.Count() != workers*per {
+		t.Fatalf("histogram count = %d, want %d", h.Count(), workers*per)
+	}
+	want := float64(workers*per) * 0.001
+	if got := h.Sum(); got < want*0.999 || got > want*1.001 {
+		t.Fatalf("histogram sum = %v, want ~%v", got, want)
+	}
+}

@@ -35,7 +35,8 @@ func (c *Client) RecognizeBatch(ctx context.Context, xs *tensor.Tensor) ([]Resul
 	var pending []int
 	for i := 0; i < n; i++ {
 		entropy := exitpolicy.NormalizedEntropy(probs.Row(i))
-		results[i] = Result{Entropy: entropy, ClientTime: clientTime}
+		results[i] = Result{Entropy: entropy, ClientTime: clientTime,
+			Stages: StageTimes{Local: clientTime}}
 		if exitpolicy.ShouldExit(entropy, c.tau) {
 			results[i].Exited = true
 			results[i].Pred = argmaxRow(logits.Row(i))
@@ -57,10 +58,12 @@ func (c *Client) RecognizeBatch(ctx context.Context, xs *tensor.Tensor) ([]Resul
 	for j, idx := range pending {
 		copy(gather.Data[j*per:(j+1)*per], shared.Batch(idx).Data)
 	}
+	encodeStart := time.Now()
 	var buf bytes.Buffer
 	if err := collab.WriteTensorCodec(&buf, gather, c.wireCodec()); err != nil {
 		return nil, fmt.Errorf("webclient: encode batch intermediate: %w", err)
 	}
+	encodePer := time.Since(encodeStart) / time.Duration(len(pending))
 	payloadPer := buf.Len() / len(pending)
 	edgeStart := time.Now()
 	ir, err := c.edgeInfer(ctx, &buf)
@@ -79,11 +82,30 @@ func (c *Client) RecognizeBatch(ctx context.Context, xs *tensor.Tensor) ([]Resul
 			len(ir.Preds), len(pending))
 	}
 	edgeTime := time.Since(edgeStart) / time.Duration(len(pending))
+	// The shared round trip's stage echo is attributed like the other
+	// shared costs: divided evenly across the samples that rode in it.
+	var echoPer StageTimes
+	echoPer.mergeEcho(ir.Stages)
+	div := time.Duration(len(pending))
+	echoPer = StageTimes{
+		EdgeRead:      echoPer.EdgeRead / div,
+		EdgeDecode:    echoPer.EdgeDecode / div,
+		EdgeQueue:     echoPer.EdgeQueue / div,
+		EdgeBatchWait: echoPer.EdgeBatchWait / div,
+		EdgeForward:   echoPer.EdgeForward / div,
+	}
 	for j, idx := range pending {
 		results[idx].Pred = ir.Preds[j]
 		results[idx].EdgeTime = edgeTime
 		results[idx].ServerMicros = ir.ServerMicros
 		results[idx].PayloadBytes = payloadPer
+		results[idx].Stages.Encode = encodePer
+		results[idx].Stages.RTT = edgeTime
+		results[idx].Stages.EdgeRead = echoPer.EdgeRead
+		results[idx].Stages.EdgeDecode = echoPer.EdgeDecode
+		results[idx].Stages.EdgeQueue = echoPer.EdgeQueue
+		results[idx].Stages.EdgeBatchWait = echoPer.EdgeBatchWait
+		results[idx].Stages.EdgeForward = echoPer.EdgeForward
 	}
 	return results, nil
 }

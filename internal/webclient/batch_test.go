@@ -55,7 +55,10 @@ func TestRecognizeBatchMatchesSingle(t *testing.T) {
 }
 
 func TestRecognizeBatchValidation(t *testing.T) {
-	c := New("http://127.0.0.1:1", nil)
+	c, err := New("http://127.0.0.1:1")
+	if err != nil {
+		t.Fatal(err)
+	}
 	g := tensor.NewRNG(1)
 	if _, err := c.RecognizeBatch(context.Background(), g.Uniform(0, 1, 2, 1, 28, 28)); err == nil {
 		t.Fatal("batch without a model must fail")

@@ -78,17 +78,20 @@ func TestRecognizeBatchWithCodec(t *testing.T) {
 func TestNegotiateCodec(t *testing.T) {
 	cfg := fixtureCfg
 	m, _ := trainedFixture(t)
-	s := edge.NewServer()
-	if err := s.Register("lenet-mnist", m); err != nil {
+	s, err := edge.New(edge.WithCodecs("f16")) // raw implied
+	if err != nil {
 		t.Fatal(err)
 	}
-	if err := s.SetCodecs("f16"); err != nil { // raw implied
+	if err := s.Register("lenet-mnist", m); err != nil {
 		t.Fatal(err)
 	}
 	srv := httptest.NewServer(s.Handler())
 	defer srv.Close()
 
-	c := New(srv.URL, srv.Client())
+	c, err := New(srv.URL, WithHTTPClient(srv.Client()))
+	if err != nil {
+		t.Fatal(err)
+	}
 	ctx := context.Background()
 	if _, err := c.NegotiateCodec(ctx, "f16"); err == nil {
 		t.Fatal("negotiation before LoadModel must fail")

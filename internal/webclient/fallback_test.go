@@ -60,15 +60,20 @@ func TestRecognizeUnderConcurrentEdgeLoad(t *testing.T) {
 	)
 	m, test := trainedFixture(t)
 
-	s := edge.NewServer()
-	s.SetReplicas(4) // several live forward contexts even on a 1-CPU host
+	s, err := edge.New(edge.WithReplicas(4)) // several live forward contexts even on a 1-CPU host
+	if err != nil {
+		t.Fatal(err)
+	}
 	if err := s.Register("lenet-mnist", m); err != nil {
 		t.Fatal(err)
 	}
 	srv := httptest.NewServer(s.Handler())
 	defer srv.Close()
 
-	c := New(srv.URL, srv.Client())
+	c, err := New(srv.URL, WithHTTPClient(srv.Client()))
+	if err != nil {
+		t.Fatal(err)
+	}
 	ctx := context.Background()
 	// tau=0: every Recognize consults the edge, so the foreground client
 	// contends with the load generators for replicas on each sample.

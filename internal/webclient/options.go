@@ -1,0 +1,69 @@
+package webclient
+
+import (
+	"fmt"
+	"net/http"
+	"time"
+)
+
+// Option configures a Client at construction, mirroring the edge server's
+// construction idiom (see internal/edge.New): both ends of the wire are
+// built with New(..., opts...) and validated before first use.
+type Option func(*Client) error
+
+// New creates a client for the edge server at baseURL (e.g.
+// "http://127.0.0.1:8080"), configured by the given options:
+//
+//	c, err := webclient.New(url,
+//		webclient.WithCodec("q8"),
+//		webclient.WithTimeout(5*time.Second),
+//	)
+//
+// With no options the client uses a private http.Client with a 30-second
+// timeout and the raw offload codec.
+func New(baseURL string, opts ...Option) (*Client, error) {
+	c := &Client{base: baseURL, http: &http.Client{Timeout: 30 * time.Second}}
+	for _, opt := range opts {
+		if err := opt(c); err != nil {
+			return nil, err
+		}
+	}
+	return c, nil
+}
+
+// WithHTTPClient makes the client issue requests through hc — the hook for
+// custom transports, proxies or test doubles. A nil hc keeps the default.
+func WithHTTPClient(hc *http.Client) Option {
+	return func(c *Client) error {
+		if hc != nil {
+			c.http = hc
+		}
+		return nil
+	}
+}
+
+// WithCodec selects the wire codec used to encode the conv1 activation on
+// offload requests ("raw", "f16", "q8", ...). Unknown names fail
+// construction. The choice trades uplink bytes against reconstruction
+// error — see the codec documentation in internal/collab.
+func WithCodec(name string) Option {
+	return func(c *Client) error {
+		return c.setCodec(name)
+	}
+}
+
+// WithTimeout bounds every HTTP request (bundle download and inference)
+// to d; d <= 0 is rejected. Options apply in order, so place WithTimeout
+// after WithHTTPClient to override that client's timeout — the caller's
+// http.Client is copied, never mutated.
+func WithTimeout(d time.Duration) Option {
+	return func(c *Client) error {
+		if d <= 0 {
+			return fmt.Errorf("webclient: non-positive timeout %v", d)
+		}
+		hc := *c.http
+		hc.Timeout = d
+		c.http = &hc
+		return nil
+	}
+}

@@ -46,15 +46,6 @@ type Client struct {
 	FallbackToBinary bool
 }
 
-// New creates a client for the edge server at baseURL (e.g.
-// "http://127.0.0.1:8080"). The provided http.Client may be nil, in which
-// case a 30-second-timeout client is used.
-func New(baseURL string, hc *http.Client) *Client {
-	if hc == nil {
-		hc = &http.Client{Timeout: 30 * time.Second}
-	}
-	return &Client{base: baseURL, http: hc}
-}
 
 // Models fetches the server's hosted model listing.
 func (c *Client) Models(ctx context.Context) ([]edge.ModelInfo, error) {
@@ -121,10 +112,13 @@ func (c *Client) LoadModel(ctx context.Context, name, arch string, cfg models.Co
 func (c *Client) LoadStats() (time.Duration, int) { return c.loadTime, c.loadBytes }
 
 // SetCodec selects the wire codec used to encode the conv1 activation on
-// offload requests ("raw", "f16", "q8", ...; empty restores raw). The
-// choice trades uplink bytes against reconstruction error — see the codec
-// documentation in internal/collab.
-func (c *Client) SetCodec(name string) error {
+// offload requests ("raw", "f16", "q8", ...; empty restores raw).
+//
+// Deprecated: use New(url, WithCodec(name)) at construction; SetCodec
+// remains for runtime re-negotiation (NegotiateCodec uses it).
+func (c *Client) SetCodec(name string) error { return c.setCodec(name) }
+
+func (c *Client) setCodec(name string) error {
 	codec, err := collab.CodecByName(name)
 	if err != nil {
 		return fmt.Errorf("webclient: %w", err)
@@ -198,6 +192,11 @@ type Result struct {
 	// Degraded reports that the edge was needed but unreachable and the
 	// binary branch's answer was returned instead (FallbackToBinary).
 	Degraded bool
+	// Stages is the measured latency decomposition: local compute, frame
+	// encode, round trip, and the server's echoed per-stage breakdown.
+	// ClientTime and EdgeTime above are Stages.Local and Stages.RTT,
+	// retained for compatibility.
+	Stages StageTimes
 }
 
 // Recognize runs Algorithm 2 on one CHW sample.
@@ -214,6 +213,7 @@ func (c *Client) Recognize(ctx context.Context, x *tensor.Tensor) (Result, error
 	probs := tensor.Softmax(logits)
 	entropy := exitpolicy.NormalizedEntropy(probs.Row(0))
 	res := Result{Entropy: entropy, ClientTime: time.Since(start)}
+	res.Stages.Local = res.ClientTime
 
 	if exitpolicy.ShouldExit(entropy, c.tau) {
 		res.Exited = true
@@ -221,10 +221,12 @@ func (c *Client) Recognize(ctx context.Context, x *tensor.Tensor) (Result, error
 		return res, nil
 	}
 
+	encodeStart := time.Now()
 	var buf bytes.Buffer
 	if err := collab.WriteTensorCodec(&buf, shared, c.wireCodec()); err != nil {
 		return Result{}, fmt.Errorf("webclient: encode intermediate: %w", err)
 	}
+	res.Stages.Encode = time.Since(encodeStart)
 	res.PayloadBytes = buf.Len()
 	edgeStart := time.Now()
 	ir, err := c.edgeInfer(ctx, &buf)
@@ -237,6 +239,8 @@ func (c *Client) Recognize(ctx context.Context, x *tensor.Tensor) (Result, error
 		return Result{}, err
 	}
 	res.EdgeTime = time.Since(edgeStart)
+	res.Stages.RTT = res.EdgeTime
+	res.Stages.mergeEcho(ir.Stages)
 	res.Pred = ir.Pred
 	res.ServerMicros = ir.ServerMicros
 	return res, nil

@@ -59,13 +59,19 @@ func trainServeClient(t *testing.T, tau float64) (*Client, *models.Composite, *d
 	cfg := fixtureCfg
 	m, test := trainedFixture(t)
 
-	s := edge.NewServer()
+	s, err := edge.New()
+	if err != nil {
+		t.Fatal(err)
+	}
 	if err := s.Register("lenet-mnist", m); err != nil {
 		t.Fatal(err)
 	}
 	srv := httptest.NewServer(s.Handler())
 
-	c := New(srv.URL, srv.Client())
+	c, err := New(srv.URL, WithHTTPClient(srv.Client()))
+	if err != nil {
+		t.Fatal(err)
+	}
 	if err := c.LoadModel(context.Background(), "lenet-mnist", "lenet", cfg, tau); err != nil {
 		srv.Close()
 		t.Fatal(err)
@@ -83,7 +89,10 @@ func TestLoadModelAndStats(t *testing.T) {
 }
 
 func TestLoadModelRejectsBadTau(t *testing.T) {
-	c := New("http://127.0.0.1:1", nil)
+	c, err := New("http://127.0.0.1:1")
+	if err != nil {
+		t.Fatal(err)
+	}
 	cfg := models.Config{Classes: 10, InC: 1, InH: 28, InW: 28, WidthScale: 0.08, Seed: 1}
 	if err := c.LoadModel(context.Background(), "x", "lenet", cfg, 2); err == nil {
 		t.Fatal("tau > 1 must be rejected")
@@ -91,7 +100,10 @@ func TestLoadModelRejectsBadTau(t *testing.T) {
 }
 
 func TestRecognizeWithoutModel(t *testing.T) {
-	c := New("http://127.0.0.1:1", nil)
+	c, err := New("http://127.0.0.1:1")
+	if err != nil {
+		t.Fatal(err)
+	}
 	ds, _ := dataset.GenerateByName("mnist", 2, 1)
 	x, _ := ds.Sample(0)
 	if _, err := c.Recognize(context.Background(), x); err == nil {

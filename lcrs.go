@@ -203,10 +203,18 @@ type PackedBranch = binary.PackedBranch
 // paper's WASM library.
 func PackBinaryBranch(m *Model) *PackedBranch { return binary.PackBranch(m.Binary) }
 
-// NewEdgeServer creates an empty edge server; register trained models and
-// serve its Handler.
-func NewEdgeServer() *EdgeServer { return edge.NewServer() }
+// NewEdgeServer creates an empty edge server with default configuration;
+// register trained models and serve its Handler. Use edge.New directly to
+// configure replicas, batching, codecs or a shared metrics registry.
+func NewEdgeServer() *EdgeServer {
+	s, _ := edge.New() // no options: cannot fail
+	return s
+}
 
 // NewWebClient creates a browser-side client for the edge server at
-// baseURL.
-func NewWebClient(baseURL string) *WebClient { return webclient.New(baseURL, nil) }
+// baseURL with default configuration. Use webclient.New directly to set a
+// custom HTTP client, timeout or offload codec.
+func NewWebClient(baseURL string) *WebClient {
+	c, _ := webclient.New(baseURL) // no options: cannot fail
+	return c
+}
