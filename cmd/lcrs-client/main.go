@@ -33,6 +33,7 @@ func main() {
 		seed   = flag.Int64("seed", 0, "sample generation seed; 0 reuses the checkpoint's seed (the synthetic class prototypes are seed-defined, so a different seed is a different task)")
 		tau    = flag.Float64("tau", -1, "override exit threshold (default: from checkpoint header)")
 		codec  = flag.String("codec", "raw", "preferred offload wire codec (raw, f16, q8..q2); negotiated with the server, falls back to raw")
+		noTel  = flag.Bool("no-telemetry", false, "omit the decision-telemetry block from offload frames (old-client wire format)")
 	)
 	flag.Parse()
 	if *ckpt == "" {
@@ -70,7 +71,7 @@ func main() {
 	}
 
 	ctx := context.Background()
-	c, err := webclient.New(*server)
+	c, err := webclient.New(*server, webclient.WithTelemetry(!*noTel))
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "lcrs-client:", err)
 		os.Exit(1)
@@ -92,7 +93,7 @@ func main() {
 		fmt.Printf("offload codec: %s\n", chosen)
 	}
 
-	var exits, correct int
+	var exits, correct, agreeYes, agreeJudged int
 	var totalClient, totalEdge, totalNet, totalServer time.Duration
 	var totalPayload int
 	for i := 0; i < ds.Len(); i++ {
@@ -115,9 +116,24 @@ func main() {
 		totalNet += res.Stages.Network()
 		totalServer += res.Stages.EdgeTotal()
 		totalPayload += res.PayloadBytes
-		fmt.Printf("sample %2d: pred %d (label %d) via %-6s entropy %.4f client %v edge %v\n",
+		// The request ID is the key into the edge's access log and
+		// /v1/debug/requests journal; empty for local exits.
+		detail := ""
+		if res.RequestID != "" {
+			detail = " id " + res.RequestID
+		}
+		if res.BinaryAgree != nil {
+			agreeJudged++
+			if *res.BinaryAgree {
+				agreeYes++
+				detail += " agree"
+			} else {
+				detail += " disagree"
+			}
+		}
+		fmt.Printf("sample %2d: pred %d (label %d) via %-6s entropy %.4f client %v edge %v%s\n",
 			i, res.Pred, label, path, res.Entropy,
-			res.ClientTime.Round(time.Microsecond), res.EdgeTime.Round(time.Microsecond))
+			res.ClientTime.Round(time.Microsecond), res.EdgeTime.Round(time.Microsecond), detail)
 	}
 	fmt.Printf("\nsession: %d samples, exit rate %.0f%%, accuracy %.0f%%, avg client %v, avg edge %v, offload payload %d bytes (%s)\n",
 		ds.Len(), float64(exits)/float64(ds.Len())*100, float64(correct)/float64(ds.Len())*100,
@@ -130,5 +146,12 @@ func main() {
 		fmt.Printf("offload breakdown: avg network %v, avg edge stages %v\n",
 			(totalNet / time.Duration(offloads)).Round(time.Microsecond),
 			(totalServer / time.Duration(offloads)).Round(time.Microsecond))
+	}
+	// Agreement is the edge's verdict (it compares the shipped binary top-1
+	// with its own main-branch answer) — a live health check on the binary
+	// branch that needs no labels.
+	if agreeJudged > 0 {
+		fmt.Printf("binary-vs-main agreement: %d/%d offloads (%.0f%%)\n",
+			agreeYes, agreeJudged, float64(agreeYes)/float64(agreeJudged)*100)
 	}
 }

@@ -12,7 +12,7 @@ import (
 	"errors"
 	"flag"
 	"fmt"
-	"log"
+	"log/slog"
 	"net/http"
 	_ "net/http/pprof" // -debug-addr profiling endpoints
 	"os"
@@ -23,7 +23,12 @@ import (
 
 	"lcrs/internal/edge"
 	"lcrs/internal/modelio"
+	"lcrs/internal/obs"
 )
+
+// version labels the lcrs_build_info metric; override with
+// -ldflags "-X main.version=v1.2.3".
+var version = "dev"
 
 // modelFlags collects repeated -model name=path pairs.
 type modelFlags []string
@@ -41,7 +46,9 @@ func (m *modelFlags) Set(v string) error {
 func main() {
 	var mf modelFlags
 	addr := flag.String("addr", ":8080", "listen address")
-	verbose := flag.Bool("verbose", false, "log every request")
+	verbose := flag.Bool("verbose", false, "log every request (structured, with request IDs)")
+	logJSON := flag.Bool("log-json", false, "emit logs as JSON lines instead of key=value text (implies -verbose)")
+	journal := flag.Int("journal", edge.DefaultJournalSize, "requests kept in the /v1/debug/requests ring; negative disables the journal")
 	codecs := flag.String("codecs", "", "comma-separated offload codecs to accept (e.g. raw,f16,q8); raw is always accepted; empty accepts all")
 	batchMax := flag.Int("batch-max", 0, "coalesce up to this many concurrent infer requests into one forward (0 or 1 disables batching)")
 	batchWait := flag.Duration("batch-wait", edge.DefaultBatchWait, "how long a non-full batch waits for stragglers before firing")
@@ -61,9 +68,14 @@ func main() {
 		}
 		opts = append(opts, edge.WithCodecs(names...))
 	}
-	if *verbose {
-		opts = append(opts, edge.WithLogger(log.New(os.Stderr, "edge ", log.LstdFlags|log.Lmicroseconds)))
+	if *verbose || *logJSON {
+		var h slog.Handler = slog.NewTextHandler(os.Stderr, nil)
+		if *logJSON {
+			h = slog.NewJSONHandler(os.Stderr, nil)
+		}
+		opts = append(opts, edge.WithSlog(slog.New(h)))
 	}
+	opts = append(opts, edge.WithJournal(*journal))
 	if *batchMax > 1 {
 		opts = append(opts, edge.WithBatching(*batchMax, *batchWait))
 	}
@@ -72,6 +84,9 @@ func main() {
 		fmt.Fprintln(os.Stderr, "lcrs-edge:", err)
 		os.Exit(2)
 	}
+	// Process-health gauges are opt-in (see internal/obs); the serving
+	// binary wants them on its /metrics.
+	obs.RegisterProcessMetrics(srv.Metrics(), version)
 	if *batchMax > 1 {
 		fmt.Printf("micro-batching: up to %d requests per forward, %v wait\n", *batchMax, *batchWait)
 	}

@@ -1,20 +1,27 @@
 // Command lcrs-inspect prints a layer-by-layer summary of a trained LCRS
 // checkpoint or of a freshly built architecture: per-layer output shapes,
 // parameters, deployed bytes (bit-packed for binary layers) and FLOPs, plus
-// the aggregate main-model and browser-bundle sizes.
+// the aggregate main-model and browser-bundle sizes. Pointed at a running
+// edge server it instead renders the server's live decision telemetry.
 //
 // Usage:
 //
 //	lcrs-inspect -ckpt demo.lcrs
 //	lcrs-inspect -arch alexnet            # paper-size build, CIFAR10 shape
 //	lcrs-inspect -arch vgg16 -scale 0.25
+//	lcrs-inspect -server http://127.0.0.1:8080                 # /v1/exitstats
+//	lcrs-inspect -server http://127.0.0.1:8080 -view journal   # /v1/debug/requests
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
+	"net/http"
 	"os"
+	"time"
 
+	"lcrs/internal/edge"
 	"lcrs/internal/modelio"
 	"lcrs/internal/models"
 )
@@ -25,8 +32,18 @@ func main() {
 		arch    = flag.String("arch", "", "architecture to build instead of loading a checkpoint")
 		scale   = flag.Float64("scale", 1, "width scale when building from -arch")
 		classes = flag.Int("classes", 10, "classes when building from -arch")
+		server  = flag.String("server", "", "running edge server base URL to inspect instead of a checkpoint")
+		view    = flag.String("view", "exitstats", "remote view when -server is set: exitstats or journal")
 	)
 	flag.Parse()
+
+	if *server != "" {
+		if err := inspectRemote(*server, *view); err != nil {
+			fmt.Fprintln(os.Stderr, "lcrs-inspect:", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	var m *models.Composite
 	switch {
@@ -58,4 +75,71 @@ func main() {
 		os.Exit(2)
 	}
 	fmt.Print(m.Summary())
+}
+
+// inspectRemote renders one of the edge server's telemetry views.
+func inspectRemote(base, view string) error {
+	switch view {
+	case "exitstats":
+		var stats []edge.ExitStats
+		if err := getJSON(base+"/v1/exitstats", &stats); err != nil {
+			return err
+		}
+		if len(stats) == 0 {
+			fmt.Println("no models registered")
+			return nil
+		}
+		for _, es := range stats {
+			fmt.Printf("%s:\n", es.Name)
+			fmt.Printf("  decisions: %d local exits, %d offloaded samples (exit rate %.2f)\n",
+				es.LocalExits, es.OffloadedSamples, es.ExitRate)
+			fmt.Printf("  telemetry: %d requests, agreement %d/%d (rate %.2f)\n",
+				es.TelemetryRequests, es.Agree, es.Agree+es.Disagree, es.AgreeRate)
+			fmt.Printf("  entropy: n=%d mean %.3f p50 %.3f p90 %.3f p99 %.3f\n",
+				es.EntropyCount, es.EntropyMean, es.EntropyP50, es.EntropyP90, es.EntropyP99)
+			fmt.Printf("  tau margin: p50 %.3f p90 %.3f\n", es.TauMarginP50, es.TauMarginP90)
+		}
+	case "journal":
+		var entries []edge.JournalEntry
+		if err := getJSON(base+"/v1/debug/requests", &entries); err != nil {
+			return err
+		}
+		if len(entries) == 0 {
+			fmt.Println("journal empty (or disabled with -journal -1)")
+			return nil
+		}
+		for _, e := range entries {
+			line := fmt.Sprintf("%s %-16s %3d %-4s %s (%dus)",
+				e.Time.Format(time.RFC3339), e.ID, e.Status, e.Method, e.Path, e.DurationMicros)
+			if e.Model != "" {
+				line += fmt.Sprintf(" model=%s codec=%s samples=%d", e.Model, e.Codec, e.Samples)
+			}
+			if e.Pred != nil {
+				line += fmt.Sprintf(" pred=%d", *e.Pred)
+			}
+			if e.Entropy != nil {
+				line += fmt.Sprintf(" entropy=%.3f", *e.Entropy)
+			}
+			if e.Agree != nil {
+				line += fmt.Sprintf(" agree=%t", *e.Agree)
+			}
+			fmt.Println(line)
+		}
+	default:
+		return fmt.Errorf("unknown view %q (want exitstats or journal)", view)
+	}
+	return nil
+}
+
+// getJSON decodes a GET endpoint into out.
+func getJSON(url string, out any) error {
+	resp, err := http.Get(url)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("GET %s: %s", url, resp.Status)
+	}
+	return json.NewDecoder(resp.Body).Decode(out)
 }

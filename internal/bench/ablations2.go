@@ -20,6 +20,7 @@ func moreAblations() []Experiment {
 		{ID: "throughput", Title: "Measured edge inference throughput vs concurrent clients (replica pool)", Run: (*Runner).Throughput},
 		{ID: "batching", Title: "Micro-batching throughput and p50/p99 latency vs concurrency (on vs off)", Run: (*Runner).Batching},
 		{ID: "stages", Title: "Measured per-stage offload decomposition (client clocks + edge trace echo)", Run: (*Runner).Stages},
+		{ID: "exitdrift", Title: "Exit-rate and entropy drift under class-skewed replay (live edge telemetry)", Run: (*Runner).ExitDrift},
 	}
 }
 

@@ -11,7 +11,7 @@ func TestAblationRegistry(t *testing.T) {
 		"ablation-location", "ablation-branches", "ablation-tau",
 		"ablation-links", "offload-bytes",
 		"ablation-concurrency", "ablation-energy", "ablation-bits",
-		"throughput", "batching", "stages",
+		"throughput", "batching", "stages", "exitdrift",
 	}
 	got := Ablations()
 	if len(got) != len(want) {
@@ -150,6 +150,37 @@ func TestBatchingQuick(t *testing.T) {
 		if !strings.Contains(out, want) {
 			t.Fatalf("missing %q:\n%s", want, out)
 		}
+	}
+}
+
+// TestExitDriftQuick drives the class-skew replay end to end in quick
+// mode: both phase rows render next to the screening row, the edge's live
+// telemetry is read per phase, and every offload ID correlates with the
+// edge journal (ExitDrift errors if any ID is missing).
+func TestExitDriftQuick(t *testing.T) {
+	r := quickRunner()
+	if err := r.ExitDrift(); err != nil {
+		t.Fatal(err)
+	}
+	out := output(r)
+	for _, want := range []string{
+		"Exit drift under class skew",
+		"screening", "balanced", "skewed",
+		"Edge entropy mean", "edge cumulative",
+		"request correlation:",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("missing %q:\n%s", want, out)
+		}
+	}
+	// Correlation must be total: "N/N offload IDs".
+	idx := strings.Index(out, "request correlation: ")
+	var found, total int
+	if _, err := fmt.Sscanf(out[idx:], "request correlation: %d/%d", &found, &total); err != nil {
+		t.Fatalf("parse correlation: %v\n%s", err, out)
+	}
+	if total == 0 || found != total {
+		t.Fatalf("request correlation %d/%d incomplete:\n%s", found, total, out)
 	}
 }
 

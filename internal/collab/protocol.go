@@ -15,19 +15,24 @@ import (
 // payload and its size is exactly what the paper's communication-cost
 // tables count.
 //
-// Two frame versions coexist:
+// Three frame versions coexist:
 //
 //	v1  magic, rank, dims, float32 payload — the original protocol, still
 //	    written for the raw codec so old peers keep interoperating.
 //	v2  magic2, codec tag, rank, dims, codec payload — written for every
 //	    non-raw codec (see codec.go).
+//	v3  magic3, codec tag, decision-telemetry block, rank, dims, codec
+//	    payload — written when the client attaches its binary-branch exit
+//	    decision (see Telemetry), so the edge can track live entropy,
+//	    exit-rate and binary-vs-main agreement without re-running anything.
 //
-// The reader accepts both transparently and reports which codec carried
-// the payload.
+// The reader accepts all three transparently, reports which codec carried
+// the payload, and surfaces the telemetry block when one was present.
 
 const (
 	frameMagic   = uint32(0x4C435446) // "LCTF", v1
 	frameMagicV2 = uint32(0x4C435632) // "LCV2", codec-tagged
+	frameMagicV3 = uint32(0x4C435633) // "LCV3", codec-tagged + telemetry
 	maxRank      = 8
 	maxElems     = 64 << 20 // 256 MB of float32 — far above any real tensor
 )
@@ -50,6 +55,79 @@ var scratchPool = sync.Pool{
 func getScratch() []byte  { return *scratchPool.Get().(*[]byte) }
 func putScratch(b []byte) { scratchPool.Put(&b) }
 
+// Telemetry is the client-side decision record a v3 frame carries next to
+// the offloaded activation: the binary branch's normalized entropy for the
+// frame's first sample (Eq. 7), the exit threshold the client screened
+// offline, the branch's top-1 prediction for that sample, and the number of
+// local early exits the client performed since its previous offload
+// (piggybacked so the edge can track a live exit rate without any extra
+// requests). The block is version-gated behind the v3 magic: v1/v2 frames
+// from older clients decode exactly as before and report a nil Telemetry.
+type Telemetry struct {
+	// Entropy is the normalized binary-branch entropy of the frame's first
+	// sample, in [0,1].
+	Entropy float64
+	// Tau is the client's exit threshold, in [0,1]; the edge derives the
+	// tau margin (Entropy - Tau) from it.
+	Tau float64
+	// BinaryPred is the binary branch's top-1 class for the first sample —
+	// compared against the main branch's answer for the live agreement
+	// counters.
+	BinaryPred int
+	// LocalExits is the number of samples the client answered locally
+	// since its previous offload (flushed with this frame).
+	LocalExits int
+}
+
+// telemetryWords is the fixed v3 telemetry block size in uint32 words:
+// entropy bits, tau bits, binary pred, local exits.
+const telemetryWords = 4
+
+// TelemetryWireBytes is the encoded telemetry block size — what a v3
+// frame adds over a v2 frame of the same tensor, for cost accounting.
+const TelemetryWireBytes = 4 * telemetryWords
+
+// validTelemetry bounds the fields a hostile or buggy peer could abuse:
+// entropies and thresholds must be finite and inside [0,1] (a hair of
+// float32 slack is clamped by the caller), predictions must fit an int32
+// class index, and one frame cannot claim an absurd local-exit backlog.
+func validTelemetry(entropy, tau float64, pred, exits int) error {
+	if math.IsNaN(entropy) || entropy < 0 || entropy > 1 {
+		return fmt.Errorf("collab: telemetry entropy %v out of [0,1]", entropy)
+	}
+	if math.IsNaN(tau) || tau < 0 || tau > 1 {
+		return fmt.Errorf("collab: telemetry tau %v out of [0,1]", tau)
+	}
+	if pred < 0 || pred > math.MaxInt32 {
+		return fmt.Errorf("collab: telemetry binary pred %d out of range", pred)
+	}
+	if exits < 0 || exits > MaxLocalExits {
+		return fmt.Errorf("collab: telemetry local exits %d out of range", exits)
+	}
+	return nil
+}
+
+// MaxLocalExits caps the exit backlog one frame may flush, so a single
+// hostile frame cannot inflate the edge's exit counters without bound.
+const MaxLocalExits = 1 << 20
+
+// unitSlack is the round-off tolerance above 1 the writer folds back into
+// the unit interval: normalized entropy is computed as h/log|C| and can
+// land a few ULPs high, which is not a protocol violation.
+const unitSlack = 1e-6
+
+// foldUnit clamps v into [0,1] when it is within round-off of the
+// interval, and reports false for genuinely out-of-range values.
+func foldUnit(v float64) (float64, bool) {
+	if math.IsNaN(v) || v < 0 || v > 1+unitSlack {
+		return v, false
+	}
+	if v > 1 {
+		return 1, true
+	}
+	return v, true
+}
+
 // WriteTensor encodes t as a v1 raw frame on w — byte-identical to the
 // original protocol (the golden-frame test pins this).
 func WriteTensor(w io.Writer, t *tensor.Tensor) error {
@@ -59,21 +137,48 @@ func WriteTensor(w io.Writer, t *tensor.Tensor) error {
 // WriteTensorCodec encodes t on w with the given codec. The raw codec (or
 // nil) writes a v1 frame; every other codec writes a codec-tagged v2 frame.
 func WriteTensorCodec(w io.Writer, t *tensor.Tensor, c Codec) error {
+	return WriteTensorTelemetry(w, t, c, nil)
+}
+
+// WriteTensorTelemetry encodes t on w with the given codec and, when tel is
+// non-nil, a v3 decision-telemetry block. A nil tel preserves the exact
+// v1/v2 bytes older peers expect.
+func WriteTensorTelemetry(w io.Writer, t *tensor.Tensor, c Codec, tel *Telemetry) error {
 	if c == nil {
 		c = Raw
 	}
 	if len(t.Shape) > maxRank {
 		return fmt.Errorf("collab: tensor rank %d exceeds protocol max %d", len(t.Shape), maxRank)
 	}
-	var hdr [12 + 4*maxRank]byte
+	var entropy, tau float64
+	if tel != nil {
+		var okE, okT bool
+		entropy, okE = foldUnit(tel.Entropy)
+		tau, okT = foldUnit(tel.Tau)
+		if !okE || !okT {
+			return fmt.Errorf("collab: telemetry entropy %v / tau %v out of [0,1]", tel.Entropy, tel.Tau)
+		}
+		if err := validTelemetry(entropy, tau, tel.BinaryPred, tel.LocalExits); err != nil {
+			return err
+		}
+	}
+	var hdr [16 + 4*telemetryWords + 4*maxRank]byte
 	n := 0
 	put := func(v uint32) {
 		binary.LittleEndian.PutUint32(hdr[n:], v)
 		n += 4
 	}
-	if c.ID() == CodecRaw {
+	switch {
+	case tel != nil:
+		put(frameMagicV3)
+		put(uint32(c.ID()))
+		put(math.Float32bits(float32(entropy)))
+		put(math.Float32bits(float32(tau)))
+		put(uint32(tel.BinaryPred))
+		put(uint32(tel.LocalExits))
+	case c.ID() == CodecRaw:
 		put(frameMagic)
-	} else {
+	default:
 		put(frameMagicV2)
 		put(uint32(c.ID()))
 	}
@@ -93,18 +198,26 @@ func WriteTensorCodec(w io.Writer, t *tensor.Tensor, c Codec) error {
 	return nil
 }
 
-// ReadTensor decodes one frame (v1 or v2, any codec) from r.
+// ReadTensor decodes one frame (v1, v2 or v3, any codec) from r.
 func ReadTensor(r io.Reader) (*tensor.Tensor, error) {
 	t, _, err := ReadFrame(r)
 	return t, err
 }
 
 // ReadFrame decodes one frame from r and reports the codec that carried
-// it. It rejects malformed and implausibly large frames, and grows
-// buffers only as payload bytes actually arrive, so a broken or malicious
-// peer cannot trigger huge allocations with a header that promises more
-// data than it sends.
+// it, discarding any telemetry block (ReadFrameTelemetry surfaces it).
 func ReadFrame(r io.Reader) (*tensor.Tensor, CodecID, error) {
+	t, id, _, err := ReadFrameTelemetry(r)
+	return t, id, err
+}
+
+// ReadFrameTelemetry decodes one frame from r, reporting the codec that
+// carried it and the decision-telemetry block when the frame was v3 (nil
+// for v1/v2 frames from older clients). It rejects malformed and
+// implausibly large frames, and grows buffers only as payload bytes
+// actually arrive, so a broken or malicious peer cannot trigger huge
+// allocations with a header that promises more data than it sends.
+func ReadFrameTelemetry(r io.Reader) (*tensor.Tensor, CodecID, *Telemetry, error) {
 	var u32 [4]byte
 	readU32 := func(what string) (uint32, error) {
 		if _, err := io.ReadFull(r, u32[:]); err != nil {
@@ -112,58 +225,82 @@ func ReadFrame(r io.Reader) (*tensor.Tensor, CodecID, error) {
 		}
 		return binary.LittleEndian.Uint32(u32[:]), nil
 	}
+	readCodec := func() (Codec, error) {
+		tag, err := readU32("codec")
+		if err != nil {
+			return nil, err
+		}
+		if tag > 0xff {
+			return nil, fmt.Errorf("collab: codec tag 0x%08x out of range", tag)
+		}
+		return CodecByID(CodecID(tag))
+	}
 
 	magic, err := readU32("magic")
 	if err != nil {
-		return nil, 0, err
+		return nil, 0, nil, err
 	}
 	codec := Raw
+	var tel *Telemetry
 	switch magic {
 	case frameMagic:
 	case frameMagicV2:
-		tag, err := readU32("codec")
-		if err != nil {
-			return nil, 0, err
+		if codec, err = readCodec(); err != nil {
+			return nil, 0, nil, err
 		}
-		if tag > 0xff {
-			return nil, 0, fmt.Errorf("collab: codec tag 0x%08x out of range", tag)
+	case frameMagicV3:
+		if codec, err = readCodec(); err != nil {
+			return nil, 0, nil, err
 		}
-		codec, err = CodecByID(CodecID(tag))
-		if err != nil {
-			return nil, 0, err
+		var words [telemetryWords]uint32
+		for i, what := range [telemetryWords]string{
+			"telemetry entropy", "telemetry tau", "telemetry pred", "telemetry exits",
+		} {
+			if words[i], err = readU32(what); err != nil {
+				return nil, 0, nil, err
+			}
+		}
+		tel = &Telemetry{
+			Entropy:    float64(math.Float32frombits(words[0])),
+			Tau:        float64(math.Float32frombits(words[1])),
+			BinaryPred: int(words[2]),
+			LocalExits: int(words[3]),
+		}
+		if err := validTelemetry(tel.Entropy, tel.Tau, tel.BinaryPred, tel.LocalExits); err != nil {
+			return nil, 0, nil, err
 		}
 	default:
-		return nil, 0, fmt.Errorf("collab: bad frame magic 0x%08x", magic)
+		return nil, 0, nil, fmt.Errorf("collab: bad frame magic 0x%08x", magic)
 	}
 
 	rank, err := readU32("rank")
 	if err != nil {
-		return nil, 0, err
+		return nil, 0, nil, err
 	}
 	if rank == 0 || rank > maxRank {
-		return nil, 0, fmt.Errorf("collab: frame rank %d out of range", rank)
+		return nil, 0, nil, fmt.Errorf("collab: frame rank %d out of range", rank)
 	}
 	shape := make([]int, rank)
 	elems := 1
 	for i := range shape {
 		d, err := readU32("dims")
 		if err != nil {
-			return nil, 0, err
+			return nil, 0, nil, err
 		}
 		if d == 0 {
-			return nil, 0, fmt.Errorf("collab: zero dimension in frame")
+			return nil, 0, nil, fmt.Errorf("collab: zero dimension in frame")
 		}
 		shape[i] = int(d)
 		elems *= int(d)
 		if elems > maxElems {
-			return nil, 0, fmt.Errorf("collab: frame of %d elements exceeds limit", elems)
+			return nil, 0, nil, fmt.Errorf("collab: frame of %d elements exceeds limit", elems)
 		}
 	}
 	t, err := codec.decodePayload(r, shape)
 	if err != nil {
-		return nil, 0, fmt.Errorf("collab: read frame payload (%s): %w", codec.Name(), err)
+		return nil, 0, nil, fmt.Errorf("collab: read frame payload (%s): %w", codec.Name(), err)
 	}
-	return t, codec.ID(), nil
+	return t, codec.ID(), tel, nil
 }
 
 // firstAlloc caps an initial buffer capacity at one payload chunk, the
@@ -231,6 +368,8 @@ func FrameBytes(t *tensor.Tensor) int64 {
 
 // FrameBytesFor returns the full encoded frame size (header + payload) of
 // a tensor shape under codec c, for cost accounting. A nil codec means raw.
+// A v3 telemetry frame adds TelemetryWireBytes (plus 4 bytes of codec tag
+// when c is raw) on top of this.
 func FrameBytesFor(shape []int, c Codec) int64 {
 	if c == nil {
 		c = Raw

@@ -1,0 +1,57 @@
+package collab
+
+import (
+	"crypto/rand"
+	"encoding/hex"
+	"fmt"
+	"sync/atomic"
+)
+
+// Request correlation. Every recognition is tagged with a client-generated
+// request ID that travels in the RequestIDHeader HTTP header, is echoed by
+// the edge in responses, and lands in the edge's access log and request
+// journal — so one recognition can be followed browser→edge→response.
+// The ID lives here (not in edge or webclient) because both ends of the
+// wire must agree on the header name and the accepted alphabet.
+
+// RequestIDHeader is the HTTP header carrying the request ID in both
+// directions: set by the client on infer requests, echoed by the edge on
+// every response (generated server-side when the client sent none).
+const RequestIDHeader = "X-Request-ID"
+
+// maxRequestIDLen bounds accepted IDs; longer ones are replaced, keeping
+// log lines and journal entries small even with a hostile client.
+const maxRequestIDLen = 64
+
+// idFallback distinguishes IDs minted when crypto/rand fails (it
+// practically never does); the counter keeps them unique per process.
+var idFallback atomic.Uint64
+
+// NewRequestID returns a fresh 16-hex-character request ID.
+func NewRequestID() string {
+	var b [8]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		return fmt.Sprintf("fallback-%012x", idFallback.Add(1))
+	}
+	return hex.EncodeToString(b[:])
+}
+
+// SanitizeRequestID returns id when it is acceptable on the wire and in
+// logs — 1..64 characters of [A-Za-z0-9._-] — and the empty string
+// otherwise (the caller then generates a fresh one). The conservative
+// alphabet keeps IDs safe to embed in log lines, label values and JSON
+// without escaping.
+func SanitizeRequestID(id string) string {
+	if id == "" || len(id) > maxRequestIDLen {
+		return ""
+	}
+	for i := 0; i < len(id); i++ {
+		c := id[i]
+		ok := c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z' ||
+			c >= '0' && c <= '9' || c == '.' || c == '_' || c == '-'
+		if !ok {
+			return ""
+		}
+	}
+	return id
+}

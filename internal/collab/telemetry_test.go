@@ -1,0 +1,170 @@
+package collab
+
+import (
+	"bytes"
+	"encoding/binary"
+	"math"
+	"strings"
+	"testing"
+
+	"lcrs/internal/tensor"
+)
+
+// TestTelemetryRoundTrip pins the v3 frame contract: the telemetry block
+// survives encode/decode under every codec, and the tensor payload decodes
+// exactly as it would without telemetry.
+func TestTelemetryRoundTrip(t *testing.T) {
+	g := tensor.NewRNG(7)
+	x := g.Uniform(-2, 2, 3, 6, 6)
+	tel := &Telemetry{Entropy: 0.8125, Tau: 0.25, BinaryPred: 7, LocalExits: 12}
+	for _, c := range Codecs() {
+		var buf bytes.Buffer
+		if err := WriteTensorTelemetry(&buf, x, c, tel); err != nil {
+			t.Fatalf("%s: encode: %v", c.Name(), err)
+		}
+		var plain bytes.Buffer
+		if err := WriteTensorCodec(&plain, x, c); err != nil {
+			t.Fatal(err)
+		}
+		// A v3 frame is the v2/v1 frame plus the codec tag (raw only) and
+		// the fixed telemetry block.
+		extra := TelemetryWireBytes
+		if c.ID() == CodecRaw {
+			extra += 4
+		}
+		if buf.Len() != plain.Len()+extra {
+			t.Fatalf("%s: v3 frame is %d bytes, want %d+%d", c.Name(), buf.Len(), plain.Len(), extra)
+		}
+
+		got, id, gotTel, err := ReadFrameTelemetry(bytes.NewReader(buf.Bytes()))
+		if err != nil {
+			t.Fatalf("%s: decode: %v", c.Name(), err)
+		}
+		if id != c.ID() {
+			t.Fatalf("%s: codec id 0x%02x, want 0x%02x", c.Name(), uint8(id), uint8(c.ID()))
+		}
+		if gotTel == nil {
+			t.Fatalf("%s: telemetry lost in transit", c.Name())
+		}
+		if gotTel.Entropy != tel.Entropy || gotTel.Tau != tel.Tau ||
+			gotTel.BinaryPred != tel.BinaryPred || gotTel.LocalExits != tel.LocalExits {
+			t.Fatalf("%s: telemetry %+v, want %+v", c.Name(), gotTel, tel)
+		}
+		want, _, err := ReadFrame(bytes.NewReader(plain.Bytes()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !tensor.Equal(want, got, 0) {
+			t.Fatalf("%s: payload decodes differently with telemetry attached", c.Name())
+		}
+	}
+}
+
+// TestTelemetryGoldenBytes pins the exact v3 wire layout so an independent
+// implementation (the paper's JS/WASM client) can be written against it.
+func TestTelemetryGoldenBytes(t *testing.T) {
+	x := tensor.FromSlice([]float32{1, 2}, 2)
+	tel := &Telemetry{Entropy: 0.5, Tau: 0.25, BinaryPred: 3, LocalExits: 9}
+	var buf bytes.Buffer
+	if err := WriteTensorTelemetry(&buf, x, Raw, tel); err != nil {
+		t.Fatal(err)
+	}
+	le := func(words ...uint32) []byte {
+		out := make([]byte, 4*len(words))
+		for i, w := range words {
+			binary.LittleEndian.PutUint32(out[4*i:], w)
+		}
+		return out
+	}
+	want := le(
+		0x4C435633,             // "LCV3"
+		0,                      // codec tag: raw
+		math.Float32bits(0.5),  // entropy
+		math.Float32bits(0.25), // tau
+		3, 9,                   // binary pred, local exits
+		1, 2, // rank, dim
+		math.Float32bits(1), math.Float32bits(2), // raw payload
+	)
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Fatalf("v3 frame bytes\n got %x\nwant %x", buf.Bytes(), want)
+	}
+}
+
+// Older v1/v2 frames must keep decoding with no telemetry — the
+// version-gating half of the backward-compat contract.
+func TestTelemetryAbsentOnOldFrames(t *testing.T) {
+	g := tensor.NewRNG(8)
+	x := g.Uniform(-1, 1, 2, 4, 4)
+	for _, c := range []Codec{Raw, F16} {
+		var buf bytes.Buffer
+		if err := WriteTensorCodec(&buf, x, c); err != nil {
+			t.Fatal(err)
+		}
+		_, id, tel, err := ReadFrameTelemetry(&buf)
+		if err != nil {
+			t.Fatalf("%s: %v", c.Name(), err)
+		}
+		if id != c.ID() || tel != nil {
+			t.Fatalf("%s frame decoded as (codec 0x%02x, telemetry %v), want (0x%02x, nil)",
+				c.Name(), uint8(id), tel, uint8(c.ID()))
+		}
+	}
+}
+
+// Hostile telemetry blocks are rejected at the protocol layer, before any
+// counter or histogram could be poisoned.
+func TestTelemetryValidation(t *testing.T) {
+	x := tensor.Ones(2)
+	encode := func(tel Telemetry) error {
+		return WriteTensorTelemetry(&bytes.Buffer{}, x, Raw, &tel)
+	}
+	for name, tel := range map[string]Telemetry{
+		"negative entropy": {Entropy: -0.5},
+		"nan tau":          {Tau: math.NaN()},
+		"negative pred":    {BinaryPred: -1},
+		"exit flood":       {LocalExits: MaxLocalExits + 1},
+	} {
+		if err := encode(tel); err == nil {
+			t.Errorf("%s: encoder accepted %+v", name, tel)
+		}
+	}
+	// A hair of float32 round-off above 1 is clamped, not rejected: the
+	// client computes entropy as h/log|C| and can land a ULP high.
+	if err := encode(Telemetry{Entropy: 1.0000001, Tau: 1}); err != nil {
+		t.Fatalf("entropy a ULP above 1 must clamp, got %v", err)
+	}
+
+	// Same bounds on the wire: a crafted frame with a NaN entropy word must
+	// fail to decode.
+	var buf bytes.Buffer
+	if err := WriteTensorTelemetry(&buf, x, Raw, &Telemetry{Entropy: 0.5}); err != nil {
+		t.Fatal(err)
+	}
+	raw := buf.Bytes()
+	binary.LittleEndian.PutUint32(raw[8:], math.Float32bits(float32(math.NaN())))
+	if _, _, _, err := ReadFrameTelemetry(bytes.NewReader(raw)); err == nil ||
+		!strings.Contains(err.Error(), "entropy") {
+		t.Fatalf("NaN entropy on the wire decoded, err = %v", err)
+	}
+}
+
+func TestRequestIDs(t *testing.T) {
+	a, b := NewRequestID(), NewRequestID()
+	if a == b {
+		t.Fatalf("two fresh request IDs collided: %s", a)
+	}
+	if SanitizeRequestID(a) != a || len(a) != 16 {
+		t.Fatalf("generated ID %q does not pass its own sanitizer", a)
+	}
+	for _, bad := range []string{"", "has space", "semi;colon", "new\nline",
+		strings.Repeat("x", maxRequestIDLen+1)} {
+		if got := SanitizeRequestID(bad); got != "" {
+			t.Errorf("SanitizeRequestID(%q) = %q, want rejection", bad, got)
+		}
+	}
+	for _, ok := range []string{"abc", "A-b_c.9", strings.Repeat("y", maxRequestIDLen)} {
+		if got := SanitizeRequestID(ok); got != ok {
+			t.Errorf("SanitizeRequestID(%q) = %q, want accepted", ok, got)
+		}
+	}
+}

@@ -5,11 +5,13 @@
 // confident (Algorithm 2, server side).
 //
 // Construct servers with New and functional options (WithReplicas,
-// WithBatching, WithCodecs, WithLogger, WithMetrics); the mutable Set*
-// methods remain only as deprecated wrappers. Serving state is observable
-// two ways: GET /v1/stats returns per-model JSON counters, and GET
-// /metrics serves the same counters plus per-stage latency histograms in
-// the Prometheus text format (see DESIGN.md section 10).
+// WithBatching, WithCodecs, WithSlog, WithJournal, WithMetrics); the
+// mutable Set* methods remain only as deprecated wrappers. Serving state
+// is observable several ways: GET /v1/stats and GET /v1/exitstats return
+// per-model JSON counters and decision telemetry, GET /metrics serves the
+// same atomics plus per-stage latency histograms in the Prometheus text
+// format (DESIGN.md sections 10-11), and GET /v1/debug/requests lists the
+// most recent requests with their correlation IDs.
 package edge
 
 import (
@@ -17,6 +19,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"log"
+	"log/slog"
 	"net/http"
 	"runtime"
 	"strings"
@@ -51,6 +54,14 @@ type InferResponse struct {
 	// (read/decode/queue/batch-wait/forward) so clients can reconstruct
 	// the paper's Fig. 8-style latency decomposition from measurements.
 	Stages *StageMicros `json:"stages,omitempty"`
+	// RequestID echoes the correlation ID (also in the X-Request-ID
+	// response header): the client's own when it sent one, server-minted
+	// otherwise.
+	RequestID string `json:"request_id,omitempty"`
+	// BinaryAgree reports whether the client's binary-branch top-1
+	// (shipped in the v3 telemetry block) matches Pred; absent when the
+	// request carried no telemetry.
+	BinaryAgree *bool `json:"binary_agree,omitempty"`
 }
 
 // ModelInfo describes one hosted model in the listing endpoint. Codecs
@@ -119,6 +130,9 @@ type modelStats struct {
 	// stage holds one latency histogram per pipeline stage (trace.go).
 	stage [numStages]*obs.Histogram
 
+	// decision holds the exit/agreement telemetry handles (decision.go).
+	decision decisionStats
+
 	// codec counts served frames per wire codec, precreated for every
 	// registered codec so the hot path never touches the registry mutex.
 	codec map[collab.CodecID]*obs.Counter
@@ -165,7 +179,8 @@ type HistBucket struct {
 type Server struct {
 	mu       sync.RWMutex
 	entries  map[string]*entry
-	logger   *log.Logger
+	logger   *slog.Logger
+	journal  *journal
 	replicas int
 	// batchMax/batchWait configure micro-batching for subsequently
 	// registered models; batchMax <= 1 (the default) disables it.
@@ -192,11 +207,24 @@ func NewServer() *Server {
 	return s
 }
 
-// SetLogger enables per-request logging (method, path, status, duration).
+// SetLogger enables per-request logging through a legacy *log.Logger.
 // Pass nil to disable. Set before serving; not synchronized with requests.
 //
-// Deprecated: use New(WithLogger(l)).
-func (s *Server) SetLogger(l *log.Logger) { s.logger = l }
+// Deprecated: use New(WithSlog(l)) for structured logs, or
+// New(WithLogger(l)) to adapt an existing *log.Logger.
+func (s *Server) SetLogger(l *log.Logger) {
+	if l == nil {
+		s.logger = nil
+		return
+	}
+	s.logger = slogFromLegacy(l)
+}
+
+// slogFromLegacy adapts a *log.Logger into a structured logger writing
+// key=value text lines to the same destination.
+func slogFromLegacy(l *log.Logger) *slog.Logger {
+	return slog.New(slog.NewTextHandler(l.Writer(), nil))
+}
 
 // SetReplicas sets the forward-context pool size used by subsequent
 // Register calls. n <= 0 restores the default, runtime.NumCPU(). Larger
@@ -355,6 +383,10 @@ func (s *Server) Register(name string, m *models.Composite) error {
 		go old.batcher.close()
 	}
 	s.entries[name] = e
+	if s.logger != nil {
+		s.logger.Info("model registered", "model", name, "arch", m.Name,
+			"bundle_bytes", len(bundle), "replicas", n, "batching", e.batcher != nil)
+	}
 	return nil
 }
 
@@ -426,9 +458,15 @@ func (s *Server) Stats() []ModelStats {
 //	GET  /v1/healthz         liveness probe
 //	GET  /v1/models          JSON list of hosted models
 //	GET  /v1/stats           JSON per-model serving counters
+//	GET  /v1/exitstats       JSON per-model decision telemetry
+//	GET  /v1/debug/requests  recent requests from the journal, newest first
 //	GET  /v1/bundle/{name}   browser bundle for a model
 //	POST /v1/infer/{name}    tensor frame in, InferResponse out
 //	GET  /metrics            Prometheus text exposition
+//
+// Every response carries an X-Request-ID header; access logging (when a
+// logger is configured) and the request journal hang off the same
+// middleware, so each request is logged exactly once.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/v1/healthz", func(w http.ResponseWriter, r *http.Request) {
@@ -439,6 +477,16 @@ func (s *Server) Handler() http.Handler {
 	})
 	mux.HandleFunc("/v1/stats", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, s.Stats())
+	})
+	mux.HandleFunc("/v1/exitstats", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, s.ExitStats())
+	})
+	mux.HandleFunc("/v1/debug/requests", func(w http.ResponseWriter, r *http.Request) {
+		entries := []JournalEntry{}
+		if s.journal != nil {
+			entries = s.journal.snapshot()
+		}
+		writeJSON(w, http.StatusOK, entries)
 	})
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
@@ -460,10 +508,7 @@ func (s *Server) Handler() http.Handler {
 		w.Write(e.bundle)
 	})
 	mux.HandleFunc("/v1/infer/", s.handleInfer)
-	if s.logger != nil {
-		return logRequests(s.logger, mux)
-	}
-	return mux
+	return s.traced(mux)
 }
 
 // handleInfer serves one offloaded inference, tracing every stage of the
@@ -479,10 +524,17 @@ func (s *Server) handleInfer(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, fmt.Sprintf("unknown model %q", name), http.StatusNotFound)
 		return
 	}
+	info := reqInfoFrom(r.Context())
+	if info == nil {
+		// handleInfer reached without the traced middleware (tests hitting
+		// it directly); keep a record anyway so enrichment never nil-checks.
+		info = &reqInfo{id: collab.NewRequestID()}
+	}
+	info.model = name
 	var tr trace
 	body := &timingReader{r: r.Body}
 	decodeStart := time.Now()
-	t, codecID, err := collab.ReadFrame(body)
+	t, codecID, tel, err := collab.ReadFrameTelemetry(body)
 	tr.stages[stageRead] = body.took
 	tr.stages[stageDecode] = time.Since(decodeStart) - body.took
 	if err != nil {
@@ -527,6 +579,18 @@ func (s *Server) handleInfer(w http.ResponseWriter, r *http.Request) {
 	}
 	resp.PayloadBytes = body.n
 	resp.Stages = tr.echo()
+	resp.RequestID = info.id
+	if tel != nil {
+		agree := tel.BinaryPred == resp.Pred
+		resp.BinaryAgree = &agree
+		info.entropy = &tel.Entropy
+		info.binaryPred = &tel.BinaryPred
+		info.agree = &agree
+	}
+	info.codec = resp.Codec
+	info.payloadBytes = body.n
+	info.samples = t.Dim(0)
+	info.pred = &resp.Pred
 
 	// Encode and write are traced separately from the JSON helper so the
 	// exposition can attribute marshalling vs. wire time.
@@ -547,6 +611,9 @@ func (s *Server) handleInfer(w http.ResponseWriter, r *http.Request) {
 	// error; the stage histograms still record the attempt.
 	_ = writeErr
 	tr.observeInto(e.stats)
+	// Decision telemetry follows the stage discipline: observed only on
+	// success, so the offload sample count reconciles with stage counts.
+	e.stats.decision.observe(t.Dim(0), tel, resp.Pred)
 }
 
 // statusRecorder captures the response status for request logging.
@@ -558,16 +625,6 @@ type statusRecorder struct {
 func (r *statusRecorder) WriteHeader(code int) {
 	r.status = code
 	r.ResponseWriter.WriteHeader(code)
-}
-
-// logRequests wraps h with one log line per request.
-func logRequests(l *log.Logger, h http.Handler) http.Handler {
-	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
-		rec := &statusRecorder{ResponseWriter: w, status: http.StatusOK}
-		start := time.Now()
-		h.ServeHTTP(rec, r)
-		l.Printf("%s %s %d %v", r.Method, r.URL.Path, rec.status, time.Since(start).Round(time.Microsecond))
-	})
 }
 
 // maxInferBatch bounds a single request's batch so one client cannot pin

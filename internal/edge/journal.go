@@ -1,0 +1,161 @@
+package edge
+
+import (
+	"context"
+	"net/http"
+	"sync"
+	"time"
+
+	"lcrs/internal/collab"
+)
+
+// Request journal and correlation. Every response carries an X-Request-ID
+// header — the client's own ID when it sent an acceptable one (see
+// collab.SanitizeRequestID), a server-generated one otherwise — and the
+// last DefaultJournalSize requests are kept in a bounded in-memory ring
+// served at GET /v1/debug/requests, newest first. The journal is a
+// debugging view, not an audit log: it skips the observability endpoints'
+// self-traffic (/metrics, /v1/debug/requests) so scraping doesn't evict
+// the requests someone is trying to debug.
+
+// DefaultJournalSize is the request-journal capacity used when WithJournal
+// is not given: small enough to be memory-noise, large enough to hold a
+// burst worth of requests.
+const DefaultJournalSize = 256
+
+// JournalEntry is one journaled request. Inference-specific fields are
+// pointers so a legitimate zero (class 0, entropy 0) survives omitempty.
+type JournalEntry struct {
+	ID             string    `json:"id"`
+	Time           time.Time `json:"time"`
+	Method         string    `json:"method"`
+	Path           string    `json:"path"`
+	Status         int       `json:"status"`
+	DurationMicros int64     `json:"duration_micros"`
+	Model          string    `json:"model,omitempty"`
+	Codec          string    `json:"codec,omitempty"`
+	PayloadBytes   int64     `json:"payload_bytes,omitempty"`
+	Samples        int       `json:"samples,omitempty"`
+	Pred           *int      `json:"pred,omitempty"`
+	Entropy        *float64  `json:"entropy,omitempty"`
+	BinaryPred     *int      `json:"binary_pred,omitempty"`
+	Agree          *bool     `json:"agree,omitempty"`
+}
+
+// journal is the bounded ring. One small mutex-guarded copy per request is
+// far off the forward-pass hot path; no atomics gymnastics needed.
+type journal struct {
+	mu      sync.Mutex
+	entries []JournalEntry
+	next    int
+	filled  bool
+}
+
+func newJournal(capacity int) *journal {
+	return &journal{entries: make([]JournalEntry, capacity)}
+}
+
+func (j *journal) add(e JournalEntry) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	j.entries[j.next] = e
+	j.next++
+	if j.next == len(j.entries) {
+		j.next, j.filled = 0, true
+	}
+}
+
+// snapshot returns the journaled requests, newest first.
+func (j *journal) snapshot() []JournalEntry {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	n := j.next
+	if j.filled {
+		n = len(j.entries)
+	}
+	out := make([]JournalEntry, 0, n)
+	for i := 1; i <= n; i++ {
+		out = append(out, j.entries[(j.next-i+len(j.entries))%len(j.entries)])
+	}
+	return out
+}
+
+// reqInfo is the per-request record the traced middleware allocates and
+// handleInfer enriches through the request context.
+type reqInfo struct {
+	id           string
+	model        string
+	codec        string
+	payloadBytes int64
+	samples      int
+	pred         *int
+	entropy      *float64
+	binaryPred   *int
+	agree        *bool
+}
+
+type ctxKey int
+
+const reqInfoKey ctxKey = iota
+
+func reqInfoFrom(ctx context.Context) *reqInfo {
+	info, _ := ctx.Value(reqInfoKey).(*reqInfo)
+	return info
+}
+
+// journalSkip lists paths whose self-traffic would flood the journal.
+func journalSkip(path string) bool {
+	return path == "/metrics" || path == "/v1/debug/requests"
+}
+
+// traced is the single per-request middleware: it resolves the request ID
+// (accepting the client's, minting one otherwise), echoes it on the
+// response, times the request, then emits exactly one access-log line and
+// one journal entry. It replaces the pre-slog logRequests wrapper.
+func (s *Server) traced(h http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		id := collab.SanitizeRequestID(r.Header.Get(collab.RequestIDHeader))
+		if id == "" {
+			id = collab.NewRequestID()
+		}
+		info := &reqInfo{id: id}
+		w.Header().Set(collab.RequestIDHeader, id)
+		rec := &statusRecorder{ResponseWriter: w, status: http.StatusOK}
+		start := time.Now()
+		h.ServeHTTP(rec, r.WithContext(context.WithValue(r.Context(), reqInfoKey, info)))
+		dur := time.Since(start)
+
+		if s.logger != nil {
+			attrs := make([]any, 0, 16)
+			attrs = append(attrs,
+				"id", id, "method", r.Method, "path", r.URL.Path,
+				"status", rec.status, "dur_micros", dur.Microseconds())
+			if info.model != "" {
+				attrs = append(attrs, "model", info.model)
+			}
+			if info.codec != "" {
+				attrs = append(attrs, "codec", info.codec)
+			}
+			if info.pred != nil {
+				attrs = append(attrs, "pred", *info.pred)
+			}
+			if info.entropy != nil {
+				attrs = append(attrs, "entropy", *info.entropy)
+			}
+			if info.agree != nil {
+				attrs = append(attrs, "agree", *info.agree)
+			}
+			s.logger.Info("request", attrs...)
+		}
+		if s.journal != nil && !journalSkip(r.URL.Path) {
+			s.journal.add(JournalEntry{
+				ID: id, Time: start.UTC(), Method: r.Method, Path: r.URL.Path,
+				Status: rec.status, DurationMicros: dur.Microseconds(),
+				Model: info.model, Codec: info.codec,
+				PayloadBytes: info.payloadBytes, Samples: info.samples,
+				Pred: info.pred, Entropy: info.entropy,
+				BinaryPred: info.binaryPred, Agree: info.agree,
+			})
+		}
+	})
+}

@@ -1,16 +1,21 @@
 package edge
 
 import (
+	"encoding/json"
 	"log"
+	"log/slog"
 	"net/http"
 	"net/http/httptest"
 	"strings"
 	"testing"
 )
 
+// TestRequestLogging drives the structured access log: exactly one line
+// per request, carrying method, path, status and the correlation ID that
+// was echoed to the client.
 func TestRequestLogging(t *testing.T) {
 	var sb strings.Builder
-	s := newServer(t, WithLogger(log.New(&sb, "", 0)))
+	s := newServer(t, WithSlog(slog.New(slog.NewTextHandler(&sb, nil))))
 	m := testModel(t)
 	if err := s.Register("demo", m); err != nil {
 		t.Fatal(err)
@@ -18,23 +23,104 @@ func TestRequestLogging(t *testing.T) {
 	srv := httptest.NewServer(s.Handler())
 	defer srv.Close()
 
-	resp, err := http.Get(srv.URL + "/v1/healthz")
+	req, _ := http.NewRequest("GET", srv.URL+"/v1/healthz", nil)
+	req.Header.Set("X-Request-ID", "probe-1")
+	resp, err := http.DefaultClient.Do(req)
 	if err != nil {
 		t.Fatal(err)
 	}
 	resp.Body.Close()
+	if got := resp.Header.Get("X-Request-ID"); got != "probe-1" {
+		t.Fatalf("request ID not echoed: %q", got)
+	}
 	resp, err = http.Get(srv.URL + "/v1/bundle/missing")
 	if err != nil {
 		t.Fatal(err)
 	}
 	resp.Body.Close()
+	// An unacceptable client ID is replaced, not parroted into the logs.
+	req, _ = http.NewRequest("GET", srv.URL+"/v1/healthz", nil)
+	req.Header.Set("X-Request-ID", "bad id;not{safe}")
+	resp, err = http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if got := resp.Header.Get("X-Request-ID"); got == "" || strings.Contains(got, " ") {
+		t.Fatalf("hostile ID must be replaced with a generated one, got %q", got)
+	}
 
 	out := sb.String()
-	if !strings.Contains(out, "GET /v1/healthz 200") {
-		t.Fatalf("missing success log line:\n%s", out)
+	if !strings.Contains(out, "msg=\"model registered\" model=demo") {
+		t.Fatalf("missing registration event log:\n%s", out)
 	}
-	if !strings.Contains(out, "GET /v1/bundle/missing 404") {
+	if !strings.Contains(out, "id=probe-1 method=GET path=/v1/healthz status=200") {
+		t.Fatalf("missing success log line with propagated ID:\n%s", out)
+	}
+	if !strings.Contains(out, "path=/v1/bundle/missing status=404") {
 		t.Fatalf("missing error status log line:\n%s", out)
+	}
+	if strings.Contains(out, "not{safe}") {
+		t.Fatalf("hostile request ID leaked into the log:\n%s", out)
+	}
+	if n := strings.Count(out, "msg=request"); n != 3 {
+		t.Fatalf("each request must log exactly once; %d lines for 3 requests:\n%s", n, out)
+	}
+}
+
+// The deprecated *log.Logger paths still produce (now structured) logs.
+func TestLegacyLoggerShim(t *testing.T) {
+	var sb strings.Builder
+	s := newServer(t, WithLogger(log.New(&sb, "", 0)))
+	srv := httptest.NewServer(s.Handler())
+	defer srv.Close()
+	resp, err := http.Get(srv.URL + "/v1/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if !strings.Contains(sb.String(), "path=/v1/healthz status=200") {
+		t.Fatalf("legacy logger saw no access log:\n%s", sb.String())
+	}
+	sb.Reset()
+	s2 := newServer(t)
+	s2.SetLogger(log.New(&sb, "", 0))
+	srv2 := httptest.NewServer(s2.Handler())
+	defer srv2.Close()
+	if resp, err = http.Get(srv2.URL + "/v1/healthz"); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if !strings.Contains(sb.String(), "path=/v1/healthz status=200") {
+		t.Fatalf("SetLogger shim saw no access log:\n%s", sb.String())
+	}
+}
+
+// JSON logs are one WithSlog handler away; the access-log schema is the
+// same, so this pins the field names the flag -log-json exposes.
+func TestJSONRequestLogging(t *testing.T) {
+	var sb strings.Builder
+	s := newServer(t, WithSlog(slog.New(slog.NewJSONHandler(&sb, nil))))
+	srv := httptest.NewServer(s.Handler())
+	defer srv.Close()
+	resp, err := http.Get(srv.URL + "/v1/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	var line struct {
+		Msg    string `json:"msg"`
+		ID     string `json:"id"`
+		Method string `json:"method"`
+		Path   string `json:"path"`
+		Status int    `json:"status"`
+	}
+	if err := json.Unmarshal([]byte(strings.TrimSpace(sb.String())), &line); err != nil {
+		t.Fatalf("access log is not one JSON object: %v\n%s", err, sb.String())
+	}
+	if line.Msg != "request" || line.Method != "GET" ||
+		line.Path != "/v1/healthz" || line.Status != 200 || line.ID == "" {
+		t.Fatalf("JSON access log fields wrong: %+v", line)
 	}
 }
 

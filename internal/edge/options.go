@@ -1,7 +1,9 @@
 package edge
 
 import (
+	"fmt"
 	"log"
+	"log/slog"
 	"time"
 
 	"lcrs/internal/obs"
@@ -27,10 +29,15 @@ type Option func(*Server) error
 //
 // With no options the server behaves like the zero configuration: a
 // replica pool of runtime.NumCPU() per model, no micro-batching, every
-// supported offload codec accepted, no request logging, and a private
-// metrics registry served at GET /metrics.
+// supported offload codec accepted, no request logging, a request journal
+// of DefaultJournalSize entries, and a private metrics registry served at
+// GET /metrics.
 func New(opts ...Option) (*Server, error) {
-	s := &Server{entries: map[string]*entry{}, metrics: obs.NewRegistry()}
+	s := &Server{
+		entries: map[string]*entry{},
+		metrics: obs.NewRegistry(),
+		journal: newJournal(DefaultJournalSize),
+	}
 	for _, opt := range opts {
 		if err := opt(s); err != nil {
 			return nil, err
@@ -70,11 +77,50 @@ func WithCodecs(names ...string) Option {
 	}
 }
 
-// WithLogger enables per-request logging (method, path, status,
-// duration). A nil logger disables logging, the default.
-func WithLogger(l *log.Logger) Option {
+// WithSlog enables structured request logging: one key=value (or JSON,
+// depending on the handler) line per request carrying the request ID,
+// method, path, status and duration, plus model/codec/prediction/
+// telemetry fields on inference requests, and event logs (model
+// registration). A nil logger disables logging, the default.
+func WithSlog(l *slog.Logger) Option {
 	return func(s *Server) error {
 		s.logger = l
+		return nil
+	}
+}
+
+// WithLogger enables per-request logging through a legacy *log.Logger,
+// adapted to the structured key=value format. A nil logger disables
+// logging, the default.
+//
+// Deprecated: use WithSlog.
+func WithLogger(l *log.Logger) Option {
+	return func(s *Server) error {
+		if l == nil {
+			s.logger = nil
+			return nil
+		}
+		s.logger = slogFromLegacy(l)
+		return nil
+	}
+}
+
+// WithJournal sets the request-journal capacity served at GET
+// /v1/debug/requests. n == 0 keeps the default (DefaultJournalSize);
+// n < 0 disables the journal entirely (the endpoint then returns an
+// empty list).
+func WithJournal(n int) Option {
+	return func(s *Server) error {
+		switch {
+		case n < 0:
+			s.journal = nil
+		case n == 0:
+			s.journal = newJournal(DefaultJournalSize)
+		case n > 1<<20:
+			return fmt.Errorf("edge: journal capacity %d unreasonably large", n)
+		default:
+			s.journal = newJournal(n)
+		}
 		return nil
 	}
 }

@@ -145,6 +145,7 @@ func newModelStats(reg *obs.Registry, model string) *modelStats {
 			"Served inference frames by wire codec.",
 			l, obs.Label{Key: "codec", Value: c.Name()})
 	}
+	st.decision = newDecisionStats(reg, model)
 	return st
 }
 

@@ -12,9 +12,11 @@ import (
 	"lcrs/internal/tensor"
 )
 
-// Tracing-overhead guard. The tentpole's premise is that per-stage
-// tracing is free next to the forward pass: a trace is seven time.Now
-// pairs plus seven histogram observations (an atomic add and a CAS each).
+// Tracing-overhead guard. The premise is that per-request observability
+// is free next to the forward pass: a trace is seven time.Now pairs plus
+// seven histogram observations (an atomic add and a CAS each), and the
+// decision-telemetry layer adds two more observes, a handful of counter
+// adds and one journal ring write.
 // BenchmarkTracedInfer measures the full traced serving path so CI has a
 // smoke number; BenchmarkTraceObserve isolates the added cost, and
 // TestTracingOverheadBudget pins it under 2% of even the cheapest
@@ -53,9 +55,12 @@ func BenchmarkTracedInfer(b *testing.B) {
 	}
 }
 
-// traceCost measures one request's worth of tracing work: the seven
-// time.Now pairs the handler adds and the per-stage histogram observes.
-func traceCost(iters int, st *modelStats) time.Duration {
+// traceCost measures one request's worth of observability work: the seven
+// time.Now pairs the handler adds, the per-stage histogram observes, the
+// decision-telemetry observes (two histograms, four counters) and one
+// journal ring write — everything the telemetry layer charges a request.
+func traceCost(iters int, st *modelStats, j *journal) time.Duration {
+	tel := &collab.Telemetry{Entropy: 0.6, Tau: 0.3, BinaryPred: 3, LocalExits: 1}
 	start := time.Now()
 	for i := 0; i < iters; i++ {
 		var tr trace
@@ -64,16 +69,24 @@ func traceCost(iters int, st *modelStats) time.Duration {
 			tr.stages[s] = time.Since(t0)
 		}
 		tr.observeInto(st)
+		st.decision.observe(1, tel, 3)
+		if j != nil {
+			pred := 3
+			j.add(JournalEntry{ID: "bench-0123456789ab", Method: "POST",
+				Path: "/v1/infer/bench", Status: 200, Model: "bench",
+				Codec: "raw", Samples: 1, Pred: &pred,
+				Entropy: &tel.Entropy, BinaryPred: &tel.BinaryPred})
+		}
 	}
 	return time.Since(start)
 }
 
-// BenchmarkTraceObserve reports the isolated per-request tracing cost.
+// BenchmarkTraceObserve reports the isolated per-request telemetry cost.
 func BenchmarkTraceObserve(b *testing.B) {
 	st := newModelStats(obs.NewRegistry(), "bench")
 	b.ReportAllocs()
 	b.ResetTimer()
-	traceCost(b.N, st)
+	traceCost(b.N, st, newJournal(DefaultJournalSize))
 }
 
 // TestTracingOverheadBudget is the <2% guard: per-request tracing cost
@@ -103,7 +116,7 @@ func TestTracingOverheadBudget(t *testing.T) {
 
 	st := newModelStats(obs.NewRegistry(), "budget")
 	const traces = 10000
-	perTrace := traceCost(traces, st) / traces
+	perTrace := traceCost(traces, st, newJournal(DefaultJournalSize)) / traces
 
 	if st.stage[stageForward].Count() != traces {
 		t.Fatalf("observed %d traces, want %d", st.stage[stageForward].Count(), traces)

@@ -1,0 +1,112 @@
+package exitpolicy
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// Properties backing the decision-telemetry layer: the entropy the client
+// ships (and the edge histograms) must stay in [0,1], and smoothing a
+// distribution toward uniform must never lower it — the reason a drifting
+// (less confident) binary branch shows up as a rightward shift of the
+// lcrs_exit_entropy histogram.
+
+// smoothToward mixes p with the uniform distribution: (1-lam)p + lam*u.
+func smoothToward(p []float32, lam float64) []float32 {
+	u := 1 / float64(len(p))
+	out := make([]float32, len(p))
+	for i, v := range p {
+		out[i] = float32((1-lam)*float64(v) + lam*u)
+	}
+	return out
+}
+
+// randomDist draws a strictly positive normalized distribution.
+func randomDist(rng *rand.Rand, n int) []float32 {
+	ps := make([]float32, n)
+	var sum float64
+	for i := range ps {
+		ps[i] = float32(rng.Float64() + 1e-3)
+		sum += float64(ps[i])
+	}
+	for i := range ps {
+		ps[i] = float32(float64(ps[i]) / sum)
+	}
+	return ps
+}
+
+// Property: S((1-lam)p + lam*u) is within [0,1] and non-decreasing in lam
+// — mixing toward uniform can only raise normalized entropy.
+func TestNormalizedEntropyMonotoneUnderSmoothing(t *testing.T) {
+	rng := rand.New(rand.NewSource(77))
+	f := func(nRaw uint8, seed int64) bool {
+		n := 2 + int(nRaw)%30
+		rng.Seed(seed)
+		p := randomDist(rng, n)
+		prev := -1.0
+		for _, lam := range []float64{0, 0.1, 0.25, 0.5, 0.75, 0.9, 1} {
+			s := NormalizedEntropy(smoothToward(p, lam))
+			if s < 0 || s > 1+1e-6 {
+				t.Logf("entropy %v out of [0,1] at lam=%v", s, lam)
+				return false
+			}
+			if s < prev-1e-6 {
+				t.Logf("entropy dropped from %v to %v at lam=%v", prev, s, lam)
+				return false
+			}
+			prev = s
+		}
+		// Full smoothing is the uniform distribution: entropy 1 exactly
+		// (up to float32 normalization error).
+		return prev > 1-1e-5
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Evaluate edge cases: the degenerate thresholds and the all/none-exit
+// regimes the live system can reach (tau=0 disables exiting entirely;
+// tau=1 exits everything with entropy below 1).
+func TestEvaluateEdgeCases(t *testing.T) {
+	entropies := []float64{0, 0.25, 0.5, 0.75}
+	binC := []bool{true, true, false, false} // 50% binary accuracy
+	mainC := []bool{true, false, true, true} // 75% main accuracy
+
+	// tau=0: the exit rule is strict (e < tau), so nothing exits, exit
+	// accuracy is 1 by convention, combined accuracy is the main branch's.
+	st := Evaluate(0, entropies, binC, mainC)
+	if st.ExitRate != 0 || st.ExitAccuracy != 1 || st.CombinedAccuracy != 0.75 {
+		t.Fatalf("tau=0: %+v", st)
+	}
+
+	// tau=1: every entropy < 1 exits — here all of them — so combined
+	// accuracy collapses to the binary branch's.
+	st = Evaluate(1, entropies, binC, mainC)
+	if st.ExitRate != 1 || st.ExitAccuracy != 0.5 || st.CombinedAccuracy != 0.5 {
+		t.Fatalf("tau=1: %+v", st)
+	}
+
+	// A sample at exactly entropy 1 (uniform softmax) never exits, even
+	// at tau=1.
+	st = Evaluate(1, []float64{1, 0.5}, []bool{false, true}, []bool{true, false})
+	if st.ExitRate != 0.5 {
+		t.Fatalf("entropy exactly 1 must not exit at tau=1: %+v", st)
+	}
+	if st.CombinedAccuracy != 1 {
+		// Sample 0 stays on main (correct), sample 1 exits binary (correct).
+		t.Fatalf("mixed regime combined accuracy: %+v", st)
+	}
+
+	// All-exit vs. none-exit around a common threshold.
+	low := []float64{0.01, 0.02, 0.03}
+	allTrue := []bool{true, true, true}
+	if st = Evaluate(0.5, low, allTrue, allTrue); st.ExitRate != 1 {
+		t.Fatalf("all below tau must all exit: %+v", st)
+	}
+	high := []float64{0.9, 0.95, 0.99}
+	if st = Evaluate(0.5, high, allTrue, allTrue); st.ExitRate != 0 {
+		t.Fatalf("all above tau must all stay: %+v", st)
+	}
+}

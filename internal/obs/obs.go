@@ -38,6 +38,28 @@ func (c *Counter) Add(n int64) { c.v.Add(n) }
 // Value returns the current count.
 func (c *Counter) Value() int64 { return c.v.Load() }
 
+// Gauge is a settable instantaneous value (float64 bits in an atomic).
+type Gauge struct {
+	v atomic.Uint64
+}
+
+// Set replaces the gauge value.
+func (g *Gauge) Set(v float64) { g.v.Store(math.Float64bits(v)) }
+
+// Add increments the gauge by d (CAS loop, safe under concurrency).
+func (g *Gauge) Add(d float64) {
+	for {
+		old := g.v.Load()
+		next := math.Float64bits(math.Float64frombits(old) + d)
+		if g.v.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// Value returns the current gauge value.
+func (g *Gauge) Value() float64 { return math.Float64frombits(g.v.Load()) }
+
 // Histogram is a fixed-bucket histogram: observations land in the first
 // bucket whose inclusive upper bound is >= the value, or in the implicit
 // +Inf overflow bucket. Buckets, count and sum are all atomics, so
@@ -96,6 +118,50 @@ func (h *Histogram) Buckets() (bounds []float64, counts []int64) {
 	return h.bounds, counts
 }
 
+// Quantile estimates the q-quantile (q in [0,1]) from the bucket counts
+// with linear interpolation inside the holding bucket — the usual
+// Prometheus histogram_quantile estimate, so dashboards and the JSON
+// views agree. The first bucket interpolates from max(0, its own width
+// below its bound); observations beyond the last bound saturate to it.
+// Returns 0 when the histogram is empty.
+func (h *Histogram) Quantile(q float64) float64 {
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	_, counts := h.Buckets()
+	var total int64
+	for _, c := range counts {
+		total += c
+	}
+	if total == 0 {
+		return 0
+	}
+	rank := q * float64(total)
+	var cum int64
+	for i, c := range counts[:len(counts)-1] {
+		cum += c
+		if float64(cum) >= rank {
+			hi := h.bounds[i]
+			lo := 0.0
+			if i > 0 {
+				lo = h.bounds[i-1]
+			} else if hi < 0 {
+				lo = hi // negative first bound: no interpolation anchor
+			}
+			if c == 0 {
+				return hi
+			}
+			within := rank - float64(cum-c)
+			return lo + (hi-lo)*within/float64(c)
+		}
+	}
+	// Rank lands in the +Inf overflow bucket: saturate to the last bound.
+	return h.bounds[len(h.bounds)-1]
+}
+
 // LatencyBuckets returns the default latency bucket bounds in seconds:
 // roughly logarithmic from 50µs to 10s, sized for the edge serving path
 // where a binary-branch forward is tens of microseconds and a saturated
@@ -120,6 +186,8 @@ type metricKind int
 const (
 	kindCounter metricKind = iota
 	kindHistogram
+	kindGauge
+	kindGaugeFunc
 )
 
 // series is one labelled instance of a family.
@@ -127,6 +195,8 @@ type series struct {
 	labels []Label
 	c      *Counter
 	h      *Histogram
+	g      *Gauge
+	fn     func() float64 // kindGaugeFunc: evaluated at scrape time
 }
 
 // family groups every series of one metric name.
@@ -168,7 +238,33 @@ func (r *Registry) Histogram(name, help string, bounds []float64, labels ...Labe
 	return s.h
 }
 
+// Gauge returns the gauge for (name, labels), creating it on first use.
+func (r *Registry) Gauge(name, help string, labels ...Label) *Gauge {
+	s := r.lookup(name, help, kindGauge, nil, labels)
+	return s.g
+}
+
+// GaugeFunc registers fn as the value source for (name, labels): it is
+// called once per scrape, under no lock, so it must be cheap and
+// goroutine-safe. Registering the same (name, labels) twice keeps the
+// first function. Used for process-health readings (goroutines, heap)
+// that are snapshots of runtime state rather than accumulated values.
+func (r *Registry) GaugeFunc(name, help string, fn func() float64, labels ...Label) {
+	if fn == nil {
+		panic(fmt.Sprintf("obs: nil GaugeFunc for %q", name))
+	}
+	r.lookupFn(name, help, fn, labels)
+}
+
 func (r *Registry) lookup(name, help string, kind metricKind, bounds []float64, labels []Label) *series {
+	return r.lookupKind(name, help, kind, bounds, nil, labels)
+}
+
+func (r *Registry) lookupFn(name, help string, fn func() float64, labels []Label) {
+	r.lookupKind(name, help, kindGaugeFunc, nil, fn, labels)
+}
+
+func (r *Registry) lookupKind(name, help string, kind metricKind, bounds []float64, fn func() float64, labels []Label) *series {
 	if !validName(name) {
 		panic(fmt.Sprintf("obs: invalid metric name %q", name))
 	}
@@ -202,6 +298,10 @@ func (r *Registry) lookup(name, help string, kind metricKind, bounds []float64, 
 			s.c = &Counter{}
 		case kindHistogram:
 			s.h = newHistogram(f.bounds)
+		case kindGauge:
+			s.g = &Gauge{}
+		case kindGaugeFunc:
+			s.fn = fn
 		}
 		f.series[key] = s
 	}
@@ -236,6 +336,10 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 			switch f.kind {
 			case kindCounter:
 				fmt.Fprintf(&b, "%s%s %d\n", f.name, renderLabels(s.labels), s.c.Value())
+			case kindGauge:
+				fmt.Fprintf(&b, "%s%s %s\n", f.name, renderLabels(s.labels), formatFloat(s.g.Value()))
+			case kindGaugeFunc:
+				fmt.Fprintf(&b, "%s%s %s\n", f.name, renderLabels(s.labels), formatFloat(s.fn()))
 			case kindHistogram:
 				bounds, counts := s.h.Buckets()
 				var cum int64
@@ -257,10 +361,14 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 }
 
 func (k metricKind) String() string {
-	if k == kindHistogram {
+	switch k {
+	case kindHistogram:
 		return "histogram"
+	case kindGauge, kindGaugeFunc:
+		return "gauge"
+	default:
+		return "counter"
 	}
-	return "counter"
 }
 
 // labelKey serializes labels into a map key (and sort key) for series.

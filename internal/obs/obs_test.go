@@ -138,6 +138,100 @@ func TestInvalidNamesPanic(t *testing.T) {
 	}
 }
 
+func TestGauges(t *testing.T) {
+	r := NewRegistry()
+	g := r.Gauge("temp", "Temperature.", Label{"room", "a"})
+	if g2 := r.Gauge("temp", "Temperature.", Label{"room", "a"}); g2 != g {
+		t.Fatal("same (name, labels) must return the same gauge")
+	}
+	g.Set(2.5)
+	g.Add(-1)
+	if g.Value() != 1.5 {
+		t.Fatalf("gauge value = %v", g.Value())
+	}
+	calls := 0
+	r.GaugeFunc("ticks", "Scrape-time reading.", func() float64 {
+		calls++
+		return float64(40 + calls)
+	})
+	var sb strings.Builder
+	if err := r.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{
+		"# TYPE temp gauge",
+		`temp{room="a"} 1.5`,
+		"# TYPE ticks gauge",
+		"ticks 41",
+	} {
+		if !strings.Contains(out, want+"\n") {
+			t.Fatalf("exposition missing %q:\n%s", want, out)
+		}
+	}
+	// The function is re-evaluated per scrape, and re-registration keeps
+	// the first function.
+	r.GaugeFunc("ticks", "Scrape-time reading.", func() float64 { return -1 })
+	sb.Reset()
+	if err := r.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "ticks 42\n") {
+		t.Fatalf("GaugeFunc not re-evaluated (or clobbered):\n%s", sb.String())
+	}
+}
+
+func TestHistogramQuantile(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("q_seconds", "", []float64{1, 2, 4})
+	if got := h.Quantile(0.5); got != 0 {
+		t.Fatalf("empty histogram quantile = %v, want 0", got)
+	}
+	// 10 observations uniform in (0,1], 10 in (1,2].
+	for i := 0; i < 10; i++ {
+		h.Observe(0.5)
+		h.Observe(1.5)
+	}
+	if got := h.Quantile(0.5); got != 1 {
+		t.Fatalf("p50 = %v, want 1 (boundary between the halves)", got)
+	}
+	if got := h.Quantile(0.25); got != 0.5 {
+		t.Fatalf("p25 = %v, want 0.5 (middle of first bucket)", got)
+	}
+	if got := h.Quantile(0.75); got != 1.5 {
+		t.Fatalf("p75 = %v, want 1.5 (middle of second bucket)", got)
+	}
+	if got := h.Quantile(0); got != 0 {
+		t.Fatalf("p0 = %v, want 0", got)
+	}
+	h.Observe(100) // lands in +Inf overflow
+	if got := h.Quantile(1); got != 4 {
+		t.Fatalf("p100 with overflow = %v, want saturation at last bound 4", got)
+	}
+}
+
+func TestRegisterProcessMetrics(t *testing.T) {
+	r := NewRegistry()
+	RegisterProcessMetrics(r, "v1.2.3")
+	RegisterProcessMetrics(r, "v1.2.3") // idempotent
+	var sb strings.Builder
+	if err := r.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{
+		`lcrs_build_info{go_version="`,
+		`version="v1.2.3"} 1`,
+		"# TYPE lcrs_process_goroutines gauge",
+		"lcrs_process_heap_inuse_bytes",
+		"lcrs_process_gc_pause_seconds_total",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("process metrics missing %q:\n%s", want, out)
+		}
+	}
+}
+
 // Concurrent observation and scraping must be race-free and lose nothing:
 // the counter and histogram totals must equal the number of operations.
 func TestConcurrentObserveAndScrape(t *testing.T) {

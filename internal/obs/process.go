@@ -1,0 +1,62 @@
+package obs
+
+import (
+	"runtime"
+	"sync"
+	"time"
+)
+
+// Process-health gauges. These are deliberately opt-in (a plain function,
+// not part of NewRegistry) because they change between scrapes even on an
+// idle server, which would break the byte-stable idle-scrape guarantee
+// the edge metrics goldens rely on. Binaries that want them — lcrs-edge
+// does — call RegisterProcessMetrics on their server's registry.
+
+// memSampler caches one runtime.ReadMemStats per ttl so a scrape reading
+// several gauges triggers at most one stop-the-world, and back-to-back
+// scrapes (load balancer + Prometheus) share a reading.
+type memSampler struct {
+	mu   sync.Mutex
+	at   time.Time
+	ttl  time.Duration
+	stat runtime.MemStats
+}
+
+func (s *memSampler) read() runtime.MemStats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if now := time.Now(); now.Sub(s.at) > s.ttl {
+		runtime.ReadMemStats(&s.stat)
+		s.at = now
+	}
+	return s.stat
+}
+
+// RegisterProcessMetrics adds process-health gauges to r:
+//
+//	lcrs_build_info{go_version,version} 1
+//	lcrs_process_goroutines
+//	lcrs_process_heap_inuse_bytes
+//	lcrs_process_gc_pause_seconds_total
+//
+// version is the binary's own version string ("dev" when unset). All
+// values are read at scrape time; memory stats are cached for 250ms so
+// one scrape costs at most one ReadMemStats.
+func RegisterProcessMetrics(r *Registry, version string) {
+	if version == "" {
+		version = "dev"
+	}
+	r.Gauge("lcrs_build_info",
+		"Constant 1, labelled with build and runtime version.",
+		Label{"go_version", runtime.Version()}, Label{"version", version}).Set(1)
+	r.GaugeFunc("lcrs_process_goroutines",
+		"Live goroutine count.",
+		func() float64 { return float64(runtime.NumGoroutine()) })
+	ms := &memSampler{ttl: 250 * time.Millisecond}
+	r.GaugeFunc("lcrs_process_heap_inuse_bytes",
+		"Bytes of heap memory in use (runtime.MemStats.HeapInuse).",
+		func() float64 { return float64(ms.read().HeapInuse) })
+	r.GaugeFunc("lcrs_process_gc_pause_seconds_total",
+		"Cumulative GC stop-the-world pause time in seconds.",
+		func() float64 { return float64(ms.read().PauseTotalNs) / 1e9 })
+}

@@ -36,10 +36,12 @@ func (c *Client) RecognizeBatch(ctx context.Context, xs *tensor.Tensor) ([]Resul
 	for i := 0; i < n; i++ {
 		entropy := exitpolicy.NormalizedEntropy(probs.Row(i))
 		results[i] = Result{Entropy: entropy, ClientTime: clientTime,
-			Stages: StageTimes{Local: clientTime}}
+			BinaryPred: argmaxRow(logits.Row(i)),
+			Stages:     StageTimes{Local: clientTime}}
 		if exitpolicy.ShouldExit(entropy, c.tau) {
 			results[i].Exited = true
-			results[i].Pred = argmaxRow(logits.Row(i))
+			results[i].Pred = results[i].BinaryPred
+			c.pendingExits.Add(1)
 		} else {
 			pending = append(pending, i)
 		}
@@ -58,20 +60,28 @@ func (c *Client) RecognizeBatch(ctx context.Context, xs *tensor.Tensor) ([]Resul
 	for j, idx := range pending {
 		copy(gather.Data[j*per:(j+1)*per], shared.Batch(idx).Data)
 	}
+	// Telemetry carries the frame's first-sample decision (the documented
+	// v3 semantics) plus the piggybacked exit backlog — including this
+	// batch's own local exits.
+	first := pending[0]
+	tel := c.telemetryFor(results[first].Entropy, results[first].BinaryPred)
 	encodeStart := time.Now()
 	var buf bytes.Buffer
-	if err := collab.WriteTensorCodec(&buf, gather, c.wireCodec()); err != nil {
+	if err := collab.WriteTensorTelemetry(&buf, gather, c.wireCodec(), tel); err != nil {
+		c.refundExits(tel)
 		return nil, fmt.Errorf("webclient: encode batch intermediate: %w", err)
 	}
 	encodePer := time.Since(encodeStart) / time.Duration(len(pending))
 	payloadPer := buf.Len() / len(pending)
+	id := collab.NewRequestID()
 	edgeStart := time.Now()
-	ir, err := c.edgeInfer(ctx, &buf)
+	ir, err := c.edgeInfer(ctx, &buf, id)
 	if err != nil {
+		c.refundExits(tel)
 		if c.FallbackToBinary {
 			for _, idx := range pending {
 				results[idx].Degraded = true
-				results[idx].Pred = argmaxRow(logits.Row(idx))
+				results[idx].Pred = results[idx].BinaryPred
 			}
 			return results, nil
 		}
@@ -94,6 +104,10 @@ func (c *Client) RecognizeBatch(ctx context.Context, xs *tensor.Tensor) ([]Resul
 		EdgeBatchWait: echoPer.EdgeBatchWait / div,
 		EdgeForward:   echoPer.EdgeForward / div,
 	}
+	reqID := id
+	if ir.RequestID != "" {
+		reqID = ir.RequestID
+	}
 	for j, idx := range pending {
 		results[idx].Pred = ir.Preds[j]
 		results[idx].EdgeTime = edgeTime
@@ -106,6 +120,12 @@ func (c *Client) RecognizeBatch(ctx context.Context, xs *tensor.Tensor) ([]Resul
 		results[idx].Stages.EdgeQueue = echoPer.EdgeQueue
 		results[idx].Stages.EdgeBatchWait = echoPer.EdgeBatchWait
 		results[idx].Stages.EdgeForward = echoPer.EdgeForward
+		// The whole batch rode one request; every member shares its ID.
+		results[idx].RequestID = reqID
+		if tel != nil {
+			agree := results[idx].BinaryPred == ir.Preds[j]
+			results[idx].BinaryAgree = &agree
+		}
 	}
 	return results, nil
 }

@@ -52,6 +52,18 @@ func WithCodec(name string) Option {
 	}
 }
 
+// WithTelemetry controls whether offload requests carry the decision-
+// telemetry block (binary-branch entropy, tau, top-1, piggybacked local
+// exits) in a v3 frame. On by default — it is how the edge computes live
+// exit rates and binary-vs-main agreement (DESIGN.md §11); disable it to
+// emulate an old client or shave the fixed telemetry bytes per offload.
+func WithTelemetry(enabled bool) Option {
+	return func(c *Client) error {
+		c.noTelemetry = !enabled
+		return nil
+	}
+}
+
 // WithTimeout bounds every HTTP request (bundle download and inference)
 // to d; d <= 0 is rejected. Options apply in order, so place WithTimeout
 // after WithHTTPClient to override that client's timeout — the caller's

@@ -13,6 +13,7 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"sync/atomic"
 	"time"
 
 	"lcrs/internal/binary"
@@ -37,6 +38,13 @@ type Client struct {
 	loadTime  time.Duration
 	loadBytes int
 	codec     collab.Codec // offload wire codec; nil means raw (v1 frames)
+	// noTelemetry suppresses the v3 decision-telemetry block on offload
+	// frames (WithTelemetry(false)), reverting to plain v2/v1 frames.
+	noTelemetry bool
+	// pendingExits counts local exits since the last successful offload;
+	// the next telemetry frame piggybacks (and resets) it, giving the edge
+	// a live exit rate without any extra requests.
+	pendingExits atomic.Int64
 
 	// FallbackToBinary makes Recognize degrade gracefully: when the edge
 	// server is unreachable (or errors), the binary branch's local answer
@@ -45,7 +53,6 @@ type Client struct {
 	// 4G link.
 	FallbackToBinary bool
 }
-
 
 // Models fetches the server's hosted model listing.
 func (c *Client) Models(ctx context.Context) ([]edge.ModelInfo, error) {
@@ -197,6 +204,17 @@ type Result struct {
 	// ClientTime and EdgeTime above are Stages.Local and Stages.RTT,
 	// retained for compatibility.
 	Stages StageTimes
+	// BinaryPred is the binary branch's top-1, recorded whether or not the
+	// sample exited locally (on exit it equals Pred).
+	BinaryPred int
+	// RequestID is the correlation ID the offload request carried — the
+	// key to find this recognition in the edge's access log and
+	// /v1/debug/requests journal. Empty when the sample exited locally.
+	RequestID string
+	// BinaryAgree is the edge's verdict on whether BinaryPred matched the
+	// main branch's answer; nil when the sample exited locally or the
+	// request carried no telemetry.
+	BinaryAgree *bool
 }
 
 // Recognize runs Algorithm 2 on one CHW sample.
@@ -212,28 +230,34 @@ func (c *Client) Recognize(ctx context.Context, x *tensor.Tensor) (Result, error
 	logits := c.branch.Forward(shared)
 	probs := tensor.Softmax(logits)
 	entropy := exitpolicy.NormalizedEntropy(probs.Row(0))
-	res := Result{Entropy: entropy, ClientTime: time.Since(start)}
+	binaryPred := logits.Argmax()
+	res := Result{Entropy: entropy, ClientTime: time.Since(start), BinaryPred: binaryPred}
 	res.Stages.Local = res.ClientTime
 
 	if exitpolicy.ShouldExit(entropy, c.tau) {
 		res.Exited = true
-		res.Pred = logits.Argmax()
+		res.Pred = binaryPred
+		c.pendingExits.Add(1)
 		return res, nil
 	}
 
+	tel := c.telemetryFor(entropy, binaryPred)
 	encodeStart := time.Now()
 	var buf bytes.Buffer
-	if err := collab.WriteTensorCodec(&buf, shared, c.wireCodec()); err != nil {
+	if err := collab.WriteTensorTelemetry(&buf, shared, c.wireCodec(), tel); err != nil {
+		c.refundExits(tel)
 		return Result{}, fmt.Errorf("webclient: encode intermediate: %w", err)
 	}
 	res.Stages.Encode = time.Since(encodeStart)
 	res.PayloadBytes = buf.Len()
+	id := collab.NewRequestID()
 	edgeStart := time.Now()
-	ir, err := c.edgeInfer(ctx, &buf)
+	ir, err := c.edgeInfer(ctx, &buf, id)
 	if err != nil {
+		c.refundExits(tel)
 		if c.FallbackToBinary {
 			res.Degraded = true
-			res.Pred = logits.Argmax()
+			res.Pred = binaryPred
 			return res, nil
 		}
 		return Result{}, err
@@ -243,16 +267,53 @@ func (c *Client) Recognize(ctx context.Context, x *tensor.Tensor) (Result, error
 	res.Stages.mergeEcho(ir.Stages)
 	res.Pred = ir.Pred
 	res.ServerMicros = ir.ServerMicros
+	res.RequestID = id
+	if ir.RequestID != "" {
+		res.RequestID = ir.RequestID
+	}
+	res.BinaryAgree = ir.BinaryAgree
 	return res, nil
 }
 
+// telemetryFor builds the offload frame's decision-telemetry block,
+// draining the pending local-exit count into it. It returns nil when
+// telemetry is disabled (the client then sends plain v2/v1 frames). A
+// caller whose request ultimately fails must hand the exits back with
+// refundExits so the edge's exit counts stay complete.
+func (c *Client) telemetryFor(entropy float64, binaryPred int) *collab.Telemetry {
+	if c.noTelemetry {
+		return nil
+	}
+	exits := c.pendingExits.Swap(0)
+	if over := exits - collab.MaxLocalExits; over > 0 {
+		c.pendingExits.Add(over)
+		exits = collab.MaxLocalExits
+	}
+	return &collab.Telemetry{
+		Entropy: entropy, Tau: c.tau,
+		BinaryPred: binaryPred, LocalExits: int(exits),
+	}
+}
+
+// refundExits returns a failed request's piggybacked exit count to the
+// pending pool so the next successful offload reports it.
+func (c *Client) refundExits(tel *collab.Telemetry) {
+	if tel != nil && tel.LocalExits > 0 {
+		c.pendingExits.Add(int64(tel.LocalExits))
+	}
+}
+
 // edgeInfer posts the intermediate tensor and decodes the edge's reply.
-func (c *Client) edgeInfer(ctx context.Context, body io.Reader) (edge.InferResponse, error) {
+// id, when non-empty, travels as the X-Request-ID correlation header.
+func (c *Client) edgeInfer(ctx context.Context, body io.Reader, id string) (edge.InferResponse, error) {
 	req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.base+"/v1/infer/"+c.modelName, body)
 	if err != nil {
 		return edge.InferResponse{}, fmt.Errorf("webclient: %w", err)
 	}
 	req.Header.Set("Content-Type", "application/octet-stream")
+	if id != "" {
+		req.Header.Set(collab.RequestIDHeader, id)
+	}
 	resp, err := c.http.Do(req)
 	if err != nil {
 		return edge.InferResponse{}, fmt.Errorf("webclient: edge inference: %w", err)
