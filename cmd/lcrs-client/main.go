@@ -34,6 +34,7 @@ func main() {
 		tau    = flag.Float64("tau", -1, "override exit threshold (default: from checkpoint header)")
 		codec  = flag.String("codec", "raw", "preferred offload wire codec (raw, f16, q8..q2); negotiated with the server, falls back to raw")
 		noTel  = flag.Bool("no-telemetry", false, "omit the decision-telemetry block from offload frames (old-client wire format)")
+		pinTau = flag.Bool("pin-tau", false, "ignore tau updates pushed by the edge's controller, keeping the starting threshold for the whole session")
 	)
 	flag.Parse()
 	if *ckpt == "" {
@@ -71,7 +72,9 @@ func main() {
 	}
 
 	ctx := context.Background()
-	c, err := webclient.New(*server, webclient.WithTelemetry(!*noTel))
+	c, err := webclient.New(*server,
+		webclient.WithTelemetry(!*noTel),
+		webclient.WithTauUpdates(!*pinTau))
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "lcrs-client:", err)
 		os.Exit(1)
@@ -153,5 +156,10 @@ func main() {
 	if agreeJudged > 0 {
 		fmt.Printf("binary-vs-main agreement: %d/%d offloads (%.0f%%)\n",
 			agreeYes, agreeJudged, float64(agreeYes)/float64(agreeJudged)*100)
+	}
+	// With a controller-enabled edge (lcrs-edge -tau-mode) the threshold
+	// drifts over the session as pushed updates arrive.
+	if final := c.Tau(); final != threshold {
+		fmt.Printf("exit threshold: started %.4f, edge controller moved it to %.4f\n", threshold, final)
 	}
 }

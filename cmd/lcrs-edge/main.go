@@ -22,6 +22,7 @@ import (
 	"time"
 
 	"lcrs/internal/edge"
+	"lcrs/internal/exitpolicy"
 	"lcrs/internal/modelio"
 	"lcrs/internal/obs"
 )
@@ -53,6 +54,9 @@ func main() {
 	batchMax := flag.Int("batch-max", 0, "coalesce up to this many concurrent infer requests into one forward (0 or 1 disables batching)")
 	batchWait := flag.Duration("batch-wait", edge.DefaultBatchWait, "how long a non-full batch waits for stragglers before firing")
 	debugAddr := flag.String("debug-addr", "", "optional address for net/http/pprof profiling (e.g. 127.0.0.1:6060); empty disables")
+	tauMode := flag.String("tau-mode", "", "enable the closed-loop tau controller driving this signal: exitrate, agreement or utilization (empty disables)")
+	tauTarget := flag.Float64("tau-target", 0.5, "controller set point for the -tau-mode signal, in (0,1)")
+	tauInit := flag.Float64("tau-init", -1, "controller starting threshold; negative (the default) adopts the first client-reported tau instead")
 	flag.Var(&mf, "model", "name=checkpoint.lcrs (repeatable)")
 	flag.Parse()
 	if len(mf) == 0 {
@@ -79,6 +83,18 @@ func main() {
 	if *batchMax > 1 {
 		opts = append(opts, edge.WithBatching(*batchMax, *batchWait))
 	}
+	if *tauMode != "" {
+		cfg := exitpolicy.Config{
+			Mode:   exitpolicy.Mode(*tauMode),
+			Target: *tauTarget,
+		}
+		if *tauInit < 0 {
+			cfg.AdoptClientTau = true
+		} else {
+			cfg.InitialTau = *tauInit
+		}
+		opts = append(opts, edge.WithTauControl(cfg))
+	}
 	srv, err := edge.New(opts...)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "lcrs-edge:", err)
@@ -89,6 +105,13 @@ func main() {
 	obs.RegisterProcessMetrics(srv.Metrics(), version)
 	if *batchMax > 1 {
 		fmt.Printf("micro-batching: up to %d requests per forward, %v wait\n", *batchMax, *batchWait)
+	}
+	if *tauMode != "" {
+		seed := "adopting the first client-reported tau"
+		if *tauInit >= 0 {
+			seed = fmt.Sprintf("starting at tau %.3f", *tauInit)
+		}
+		fmt.Printf("tau controller: driving %s to %.2f, %s\n", *tauMode, *tauTarget, seed)
 	}
 	if *debugAddr != "" {
 		// The pprof mux stays on its own listener so profiling endpoints

@@ -21,6 +21,7 @@ func moreAblations() []Experiment {
 		{ID: "batching", Title: "Micro-batching throughput and p50/p99 latency vs concurrency (on vs off)", Run: (*Runner).Batching},
 		{ID: "stages", Title: "Measured per-stage offload decomposition (client clocks + edge trace echo)", Run: (*Runner).Stages},
 		{ID: "exitdrift", Title: "Exit-rate and entropy drift under class-skewed replay (live edge telemetry)", Run: (*Runner).ExitDrift},
+		{ID: "exitloop", Title: "Closed-loop tau control recovering the exit rate under class skew", Run: (*Runner).ExitLoop},
 	}
 }
 

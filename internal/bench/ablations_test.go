@@ -11,7 +11,7 @@ func TestAblationRegistry(t *testing.T) {
 		"ablation-location", "ablation-branches", "ablation-tau",
 		"ablation-links", "offload-bytes",
 		"ablation-concurrency", "ablation-energy", "ablation-bits",
-		"throughput", "batching", "stages", "exitdrift",
+		"throughput", "batching", "stages", "exitdrift", "exitloop",
 	}
 	got := Ablations()
 	if len(got) != len(want) {
@@ -210,5 +210,29 @@ func TestOffloadBytesQuick(t *testing.T) {
 	}
 	if ratio < 3 {
 		t.Fatalf("q8 reduction %.2fx below the 3x bar:\n%s", ratio, out)
+	}
+}
+
+// TestExitLoopQuick is the headline closed-loop regression test: the
+// skewed replay that holds an open-loop exit rate of ~0.17 at the
+// screened tau must, with the controller in the loop, recover to
+// 0.50±0.05 within the replay and hold there without oscillating beyond
+// the hysteresis band. ExitLoop enforces all of that internally and
+// errors on any violation; everything is seeded, so the trajectory — and
+// this verdict — is deterministic.
+func TestExitLoopQuick(t *testing.T) {
+	r := quickRunner()
+	if err := r.ExitLoop(); err != nil {
+		t.Fatal(err)
+	}
+	out := output(r)
+	for _, want := range []string{
+		"Closed-loop tau control under class skew",
+		"Trailing exit rate", "converged at request",
+		"client uptake tau",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("missing %q:\n%s", want, out)
+		}
 	}
 }

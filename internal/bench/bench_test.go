@@ -122,6 +122,9 @@ func TestFig10Quick(t *testing.T) {
 }
 
 func TestFig4Quick(t *testing.T) {
+	if raceDetectorOn {
+		t.Skip("measurement-only sweep; see TestComparisonShapeHolds")
+	}
 	r := quickRunner()
 	if err := r.Fig4(); err != nil {
 		t.Fatal(err)
@@ -135,6 +138,9 @@ func TestFig4Quick(t *testing.T) {
 // The paper's headline: LCRS end-to-end latency beats every comparator by
 // at least 3x on the deep networks (Table II's weakest margin band).
 func TestComparisonShapeHolds(t *testing.T) {
+	if raceDetectorOn {
+		t.Skip("measurement-only sweep, ~5min under -race on one CPU; its concurrency is covered by the edge/webclient race suites")
+	}
 	r := quickRunner()
 	for _, arch := range []string{"alexnet", "resnet18", "vgg16"} {
 		// Width-scaled training decides the exits; cost accounting uses the
@@ -158,6 +164,9 @@ func TestComparisonShapeHolds(t *testing.T) {
 
 // Experiment runs must be deterministic: same config, same output.
 func TestDeterministicOutput(t *testing.T) {
+	if raceDetectorOn {
+		t.Skip("two full Table II runs, measurement-only; determinism is a value property the non-race run already pins")
+	}
 	run := func() string {
 		r := quickRunner()
 		if err := r.Table2(); err != nil {

@@ -1,0 +1,7 @@
+//go:build !race
+
+package bench
+
+// raceDetectorOn reports whether this test binary was built with -race.
+// See race_on_test.go for why the heavy measurement sweeps consult it.
+const raceDetectorOn = false

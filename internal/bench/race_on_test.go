@@ -1,0 +1,12 @@
+//go:build race
+
+package bench
+
+// raceDetectorOn reports whether this test binary was built with -race.
+// The heaviest measurement-only sweeps consult it to skip themselves: the
+// race detector multiplies their single-threaded training/replay loops by
+// 4-5x, which alone blows the per-package test timeout on single-CPU
+// runners, while the concurrency those sweeps touch (edge replica pool,
+// webclient offload path) is exercised directly by the edge and webclient
+// race suites.
+const raceDetectorOn = true

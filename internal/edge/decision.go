@@ -136,6 +136,9 @@ type ExitStats struct {
 	// Tau-margin quantiles: how far past the threshold offloads land.
 	TauMarginP50 float64 `json:"tau_margin_p50"`
 	TauMarginP90 float64 `json:"tau_margin_p90"`
+	// Controller is the tau controller's state for this model
+	// (WithTauControl); absent when the server runs with a static tau.
+	Controller *TauControlStats `json:"controller,omitempty"`
 }
 
 // ExitStats snapshots per-model decision telemetry, sorted by model name.
@@ -159,6 +162,7 @@ func (s *Server) ExitStats() []ExitStats {
 			EntropyP99:        d.entropy.Quantile(0.99),
 			TauMarginP50:      d.tauMargin.Quantile(0.5),
 			TauMarginP90:      d.tauMargin.Quantile(0.9),
+			Controller:        e.ctrl.tauStats(),
 		}
 		if total := st.LocalExits + st.OffloadedSamples; total > 0 {
 			st.ExitRate = float64(st.LocalExits) / float64(total)

@@ -28,6 +28,7 @@ import (
 	"time"
 
 	"lcrs/internal/collab"
+	"lcrs/internal/exitpolicy"
 	"lcrs/internal/modelio"
 	"lcrs/internal/models"
 	"lcrs/internal/obs"
@@ -62,6 +63,12 @@ type InferResponse struct {
 	// (shipped in the v3 telemetry block) matches Pred; absent when the
 	// request carried no telemetry.
 	BinaryAgree *bool `json:"binary_agree,omitempty"`
+	// Tau is the edge-side tau controller's current threshold for this
+	// model (WithTauControl): clients apply it to subsequent local exit
+	// decisions, closing the control loop without extra requests. Absent
+	// when the server runs without a controller or the controller has
+	// not adopted a starting threshold yet.
+	Tau *float64 `json:"tau,omitempty"`
 }
 
 // ModelInfo describes one hosted model in the listing endpoint. Codecs
@@ -93,6 +100,11 @@ type entry struct {
 	// batcher coalesces concurrent requests into shared batched forwards
 	// when the server has batching enabled; nil otherwise (the default).
 	batcher *batcher
+
+	// ctrl is the model's tau controller (WithTauControl); nil otherwise
+	// (the default). Written once at registration, read without further
+	// synchronization like batcher.
+	ctrl *tauControl
 
 	stats *modelStats
 }
@@ -193,6 +205,10 @@ type Server struct {
 	// non-nil for servers built with New (WithMetrics injects a shared
 	// one).
 	metrics *obs.Registry
+	// tauCfg, when set (WithTauControl), gives every subsequently
+	// registered model its own online tau controller (taucontrol.go).
+	// Stored pre-validated, so Register cannot fail on it.
+	tauCfg *exitpolicy.Config
 	// closed is set by Close; models registered afterwards are served
 	// without a batcher so no coalescing goroutine outlives shutdown.
 	closed bool
@@ -373,6 +389,16 @@ func (s *Server) Register(name string, m *models.Composite) error {
 		pool <- r
 	}
 	e := &entry{model: m, bundle: bundle, replicas: pool, stats: newModelStats(s.metrics, name)}
+	if s.tauCfg != nil {
+		// Config was validated by WithTauControl, so construction cannot
+		// fail; a fresh controller per registration means a hot-swapped
+		// model re-seeds from its own clients' screened tau.
+		ctrl, err := newTauControl(s.metrics, name, *s.tauCfg)
+		if err != nil {
+			return fmt.Errorf("edge: tau controller for %s: %w", name, err)
+		}
+		e.ctrl = ctrl
+	}
 	if s.batchMax > 1 && !s.closed {
 		// The batcher is written exactly once, before the entry is
 		// published; handlers read it without further synchronization.
@@ -586,6 +612,15 @@ func (s *Server) handleInfer(w http.ResponseWriter, r *http.Request) {
 		info.entropy = &tel.Entropy
 		info.binaryPred = &tel.BinaryPred
 		info.agree = &agree
+	}
+	if e.ctrl != nil {
+		// The controller ingests this request's telemetry and the updated
+		// tau rides back in the response — before encoding, unlike the
+		// §11 decision counters, which keep their post-write success-only
+		// discipline.
+		if tau, ok := e.ctrl.observe(tel, t.Dim(0), resp.Pred); ok {
+			resp.Tau = &tau
+		}
 	}
 	info.codec = resp.Codec
 	info.payloadBytes = body.n

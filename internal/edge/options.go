@@ -6,6 +6,7 @@ import (
 	"log/slog"
 	"time"
 
+	"lcrs/internal/exitpolicy"
 	"lcrs/internal/obs"
 )
 
@@ -121,6 +122,26 @@ func WithJournal(n int) Option {
 		default:
 			s.journal = newJournal(n)
 		}
+		return nil
+	}
+}
+
+// WithTauControl gives every subsequently registered model an online tau
+// controller (exitpolicy.Controller, DESIGN.md §12): the configured
+// telemetry signal — windowed exit rate, binary-vs-main agreement, or
+// edge utilization — is driven to cfg.Target by bounded, hysteresis-
+// damped adjustments of the exit threshold, and the current threshold is
+// pushed to clients in every infer response's Tau field. cfg is validated
+// here (defaults filled in), so a bad configuration fails construction.
+// Controller state is served in /v1/exitstats and the lcrs_tau_* metric
+// families.
+func WithTauControl(cfg exitpolicy.Config) Option {
+	return func(s *Server) error {
+		norm, err := cfg.Validate()
+		if err != nil {
+			return fmt.Errorf("edge: %w", err)
+		}
+		s.tauCfg = &norm
 		return nil
 	}
 }

@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"lcrs/internal/collab"
+	"lcrs/internal/exitpolicy"
 	"lcrs/internal/models"
 	"lcrs/internal/obs"
 	"lcrs/internal/tensor"
@@ -57,9 +58,11 @@ func BenchmarkTracedInfer(b *testing.B) {
 
 // traceCost measures one request's worth of observability work: the seven
 // time.Now pairs the handler adds, the per-stage histogram observes, the
-// decision-telemetry observes (two histograms, four counters) and one
-// journal ring write — everything the telemetry layer charges a request.
-func traceCost(iters int, st *modelStats, j *journal) time.Duration {
+// decision-telemetry observes (two histograms, four counters), one tau
+// controller observation (a mutex-guarded windowed accumulate, the
+// steady-state cost of WithTauControl), and one journal ring write —
+// everything the telemetry and control layers charge a request.
+func traceCost(iters int, st *modelStats, tc *tauControl, j *journal) time.Duration {
 	tel := &collab.Telemetry{Entropy: 0.6, Tau: 0.3, BinaryPred: 3, LocalExits: 1}
 	start := time.Now()
 	for i := 0; i < iters; i++ {
@@ -69,6 +72,9 @@ func traceCost(iters int, st *modelStats, j *journal) time.Duration {
 			tr.stages[s] = time.Since(t0)
 		}
 		tr.observeInto(st)
+		if tc != nil {
+			tc.observe(tel, 1, 3)
+		}
 		st.decision.observe(1, tel, 3)
 		if j != nil {
 			pred := 3
@@ -81,12 +87,28 @@ func traceCost(iters int, st *modelStats, j *journal) time.Duration {
 	return time.Since(start)
 }
 
+// benchTauControl builds a controller like a WithTauControl registration
+// would, for charging its per-request cost into the trace budget.
+func benchTauControl(tb testing.TB, reg *obs.Registry, model string) *tauControl {
+	cfg, err := exitpolicy.Config{Mode: exitpolicy.ModeExitRate, Target: 0.5, AdoptClientTau: true}.Validate()
+	if err != nil {
+		tb.Fatal(err)
+	}
+	tc, err := newTauControl(reg, model, cfg)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	return tc
+}
+
 // BenchmarkTraceObserve reports the isolated per-request telemetry cost.
 func BenchmarkTraceObserve(b *testing.B) {
-	st := newModelStats(obs.NewRegistry(), "bench")
+	reg := obs.NewRegistry()
+	st := newModelStats(reg, "bench")
+	tc := benchTauControl(b, reg, "bench")
 	b.ReportAllocs()
 	b.ResetTimer()
-	traceCost(b.N, st, newJournal(DefaultJournalSize))
+	traceCost(b.N, st, tc, newJournal(DefaultJournalSize))
 }
 
 // TestTracingOverheadBudget is the <2% guard: per-request tracing cost
@@ -114,9 +136,11 @@ func TestTracingOverheadBudget(t *testing.T) {
 	}
 	perForward := time.Since(start) / forwards
 
-	st := newModelStats(obs.NewRegistry(), "budget")
+	reg := obs.NewRegistry()
+	st := newModelStats(reg, "budget")
+	tc := benchTauControl(t, reg, "budget")
 	const traces = 10000
-	perTrace := traceCost(traces, st, newJournal(DefaultJournalSize)) / traces
+	perTrace := traceCost(traces, st, tc, newJournal(DefaultJournalSize)) / traces
 
 	if st.stage[stageForward].Count() != traces {
 		t.Fatalf("observed %d traces, want %d", st.stage[stageForward].Count(), traces)

@@ -28,6 +28,21 @@ func NormalizedEntropy(probs []float32) float64 {
 
 // ShouldExit reports whether a sample with the given normalized entropy
 // exits from the binary branch (Algorithm 2 line 5: e < tau).
+//
+// The comparison is strict, and that boundary is load-bearing contract,
+// not an implementation detail: entropy == tau does NOT exit. The
+// consequences at the ends of the range are pinned by
+// TestShouldExitBoundary and relied on across the stack:
+//
+//	tau == 0  exits nothing (even a zero-entropy one-hot stays),
+//	          so 0 is the safe "disable local exits" setting;
+//	tau == 1  exits everything except exactly-uniform softmax outputs
+//	          (entropy == 1), which still offload.
+//
+// ScreenForExitRate's +1e-9 nudges and the Controller's clamp range
+// ([MinTau, MaxTau] ⊆ [0, 1]) both assume this strictness; changing it
+// to <= would silently shift every screened threshold and the
+// controller's boundary behavior.
 func ShouldExit(entropy, tau float64) bool { return entropy < tau }
 
 // Stats summarizes an exit policy evaluated over a labelled set.

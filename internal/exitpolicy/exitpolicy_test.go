@@ -66,6 +66,35 @@ func TestShouldExit(t *testing.T) {
 	}
 }
 
+// TestShouldExitBoundary pins the strict e < tau contract the ShouldExit
+// doc comment spells out, case by case. Screening's +1e-9 nudges, the
+// webclient's "tau=0 disables exits" idiom, and the controller's clamp
+// range all assume exactly this table; a change from < to <= must fail
+// here before it silently shifts every screened threshold.
+func TestShouldExitBoundary(t *testing.T) {
+	cases := []struct {
+		name         string
+		entropy, tau float64
+		exit         bool
+	}{
+		{"equal values never exit", 0.5, 0.5, false},
+		{"just below exits", 0.5 - 1e-12, 0.5, true},
+		{"just above stays", 0.5 + 1e-12, 0.5, false},
+		{"tau=0 keeps a one-hot sample", 0, 0, false},
+		{"tau=0 keeps everything", 0.3, 0, false},
+		{"tau=1 exits a sub-uniform sample", 0.999999, 1, true},
+		{"tau=1 keeps an exactly uniform sample", 1, 1, false},
+		{"zero entropy exits at any positive tau", 0, 1e-12, true},
+		{"screening nudge admits the boundary sample", 0.5, 0.5 + 1e-9, true},
+	}
+	for _, tc := range cases {
+		if got := ShouldExit(tc.entropy, tc.tau); got != tc.exit {
+			t.Errorf("%s: ShouldExit(%v, %v) = %v, want %v",
+				tc.name, tc.entropy, tc.tau, got, tc.exit)
+		}
+	}
+}
+
 func TestEvaluate(t *testing.T) {
 	entropies := []float64{0.01, 0.02, 0.5, 0.9}
 	binC := []bool{true, false, true, false}

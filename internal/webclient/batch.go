@@ -31,14 +31,18 @@ func (c *Client) RecognizeBatch(ctx context.Context, xs *tensor.Tensor) ([]Resul
 	probs := tensor.Softmax(logits)
 	clientTime := time.Since(start) / time.Duration(n) // attributed per sample
 
+	// One tau load for the whole batch: all members of one scan are
+	// judged against the same threshold, and the telemetry frame reports
+	// the value the decisions actually used.
+	tau := c.Tau()
 	results := make([]Result, n)
 	var pending []int
 	for i := 0; i < n; i++ {
 		entropy := exitpolicy.NormalizedEntropy(probs.Row(i))
-		results[i] = Result{Entropy: entropy, ClientTime: clientTime,
+		results[i] = Result{Entropy: entropy, Tau: tau, ClientTime: clientTime,
 			BinaryPred: argmaxRow(logits.Row(i)),
 			Stages:     StageTimes{Local: clientTime}}
-		if exitpolicy.ShouldExit(entropy, c.tau) {
+		if exitpolicy.ShouldExit(entropy, tau) && !c.mustFlush() {
 			results[i].Exited = true
 			results[i].Pred = results[i].BinaryPred
 			c.pendingExits.Add(1)
@@ -64,7 +68,7 @@ func (c *Client) RecognizeBatch(ctx context.Context, xs *tensor.Tensor) ([]Resul
 	// v3 semantics) plus the piggybacked exit backlog — including this
 	// batch's own local exits.
 	first := pending[0]
-	tel := c.telemetryFor(results[first].Entropy, results[first].BinaryPred)
+	tel := c.telemetryFor(results[first].Entropy, results[first].BinaryPred, tau)
 	encodeStart := time.Now()
 	var buf bytes.Buffer
 	if err := collab.WriteTensorTelemetry(&buf, gather, c.wireCodec(), tel); err != nil {
@@ -127,6 +131,7 @@ func (c *Client) RecognizeBatch(ctx context.Context, xs *tensor.Tensor) ([]Resul
 			results[idx].BinaryAgree = &agree
 		}
 	}
+	c.applyTauPush(ir.Tau)
 	return results, nil
 }
 

@@ -64,6 +64,38 @@ func WithTelemetry(enabled bool) Option {
 	}
 }
 
+// WithTauUpdates controls whether the client adopts exit thresholds the
+// edge pushes in infer responses (the output of the server-side tau
+// controller, edge.WithTauControl). On by default — the push is how the
+// closed loop reaches the device. Disable to pin the threshold given to
+// LoadModel/SetTau; the client still reports its tau in telemetry, so
+// the edge's lcrs_tau_client gauge makes the pinning visible.
+func WithTauUpdates(enabled bool) Option {
+	return func(c *Client) error {
+		c.noTauUpdates = !enabled
+		return nil
+	}
+}
+
+// WithExitFlush bounds the local-exit backlog: once n decisions in a row
+// have exited locally, the next would-exit sample is offloaded instead,
+// flushing the piggybacked exit count (and, with a server-side tau
+// controller, pulling a fresh threshold). Exit telemetry only travels on
+// offload frames, so an all-exit regime otherwise goes silent exactly
+// when the threshold is most wrong — a controller that overshoots into
+// such a regime would freeze there with no feedback to correct it. The
+// cost is bounded at one extra offload per n local exits. n <= 0 (the
+// default) disables flushing; negative n is rejected.
+func WithExitFlush(n int) Option {
+	return func(c *Client) error {
+		if n < 0 {
+			return fmt.Errorf("webclient: negative exit-flush interval %d", n)
+		}
+		c.flushEvery = n
+		return nil
+	}
+}
+
 // WithTimeout bounds every HTTP request (bundle download and inference)
 // to d; d <= 0 is rejected. Options apply in order, so place WithTimeout
 // after WithHTTPClient to override that client's timeout — the caller's

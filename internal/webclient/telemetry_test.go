@@ -60,7 +60,9 @@ func TestDecisionTelemetryEndToEnd(t *testing.T) {
 	}
 
 	// Phase 2 — tau=1: three samples exit locally, nothing on the wire.
-	c.tau = 1
+	if err := c.SetTau(1); err != nil {
+		t.Fatal(err)
+	}
 	for i := 0; i < 3; i++ {
 		x, _ := test.Sample(5 + i)
 		res, err := c.Recognize(ctx, x)
@@ -73,7 +75,9 @@ func TestDecisionTelemetryEndToEnd(t *testing.T) {
 	}
 
 	// Phase 3 — one more offload flushes the three exits to the edge.
-	c.tau = 0
+	if err := c.SetTau(0); err != nil {
+		t.Fatal(err)
+	}
 	x, _ := test.Sample(8)
 	res, err := c.Recognize(ctx, x)
 	if err != nil {

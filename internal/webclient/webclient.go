@@ -12,6 +12,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"math"
 	"net/http"
 	"sync/atomic"
 	"time"
@@ -27,6 +28,14 @@ import (
 
 // Client talks to one edge server and executes the browser side of
 // Algorithm 2.
+//
+// A Client models one browser session and runs one recognition at a time:
+// Recognize and RecognizeBatch share the model's per-layer scratch
+// buffers (see models.CloneForInference) and must not run concurrently
+// with each other. SetTau, Tau and the exit-backlog accounting are
+// lock-free and safe to call from other goroutines while a recognition
+// is in flight — a mid-flight threshold change applies to the next
+// decision, never partially to the current one.
 type Client struct {
 	base string
 	http *http.Client
@@ -34,10 +43,24 @@ type Client struct {
 	modelName string
 	model     *models.Composite
 	branch    *binary.PackedBranch // bit-packed executor for the binary branch
-	tau       float64
+	// tauBits holds the exit threshold as float64 bits so concurrent
+	// recognitions and controller pushes never tear: each decision loads
+	// tau exactly once and threads that value through both the exit test
+	// and the telemetry frame, so a mid-flight update can change the
+	// *next* decision but never mix thresholds within one.
+	tauBits   atomic.Uint64
 	loadTime  time.Duration
 	loadBytes int
 	codec     collab.Codec // offload wire codec; nil means raw (v1 frames)
+	// noTauUpdates pins the threshold: pushed tau values in infer
+	// responses (the edge controller's output) are ignored.
+	noTauUpdates bool
+	// flushEvery forces an offload once pendingExits reaches it (0 =
+	// never). Without it an all-exit regime sends no frames at all: the
+	// exit backlog only piggybacks on offloads, so the edge's exit
+	// counts — and a tau controller's feedback — would stall exactly
+	// when the threshold is most wrong. See WithExitFlush.
+	flushEvery int
 	// noTelemetry suppresses the v3 decision-telemetry block on offload
 	// frames (WithTelemetry(false)), reverting to plain v2/v1 frames.
 	noTelemetry bool
@@ -109,10 +132,39 @@ func (c *Client) LoadModel(ctx context.Context, name, arch string, cfg models.Co
 	c.modelName = name
 	c.model = m
 	c.branch = binary.PackBranch(m.Binary)
-	c.tau = tau
+	c.tauBits.Store(math.Float64bits(tau))
 	c.loadTime = time.Since(start)
 	c.loadBytes = len(data)
 	return nil
+}
+
+// Tau reports the exit threshold the next recognition will use. It starts
+// as LoadModel's tau and then tracks pushed controller updates (unless
+// WithTauUpdates(false) pinned it).
+func (c *Client) Tau() float64 { return math.Float64frombits(c.tauBits.Load()) }
+
+// SetTau replaces the exit threshold for subsequent recognitions. Safe to
+// call concurrently with Recognize: in-flight decisions keep the value
+// they loaded. NaN and out-of-[0,1] values are rejected.
+func (c *Client) SetTau(tau float64) error {
+	if math.IsNaN(tau) || tau < 0 || tau > 1 {
+		return fmt.Errorf("webclient: tau %v out of [0,1]", tau)
+	}
+	c.tauBits.Store(math.Float64bits(tau))
+	return nil
+}
+
+// applyTauPush adopts a controller-pushed threshold from an infer
+// response. Invalid values are dropped rather than erroring — a bad push
+// must not fail a recognition that already has its answer.
+func (c *Client) applyTauPush(tau *float64) {
+	if tau == nil || c.noTauUpdates {
+		return
+	}
+	if math.IsNaN(*tau) || *tau < 0 || *tau > 1 {
+		return
+	}
+	c.tauBits.Store(math.Float64bits(*tau))
 }
 
 // LoadStats reports the bundle download: wall-clock time and payload size.
@@ -187,6 +239,10 @@ type Result struct {
 	Exited bool
 	// Entropy is the binary branch's normalized entropy.
 	Entropy float64
+	// Tau is the exit threshold this decision was judged against — the
+	// value loaded once at decision time, so Exited == (Entropy < Tau)
+	// even when a controller push lands mid-flight.
+	Tau float64
 	// ClientTime is the measured local compute time.
 	ClientTime time.Duration
 	// EdgeTime is the measured round trip to the edge (zero when exited).
@@ -231,17 +287,21 @@ func (c *Client) Recognize(ctx context.Context, x *tensor.Tensor) (Result, error
 	probs := tensor.Softmax(logits)
 	entropy := exitpolicy.NormalizedEntropy(probs.Row(0))
 	binaryPred := logits.Argmax()
-	res := Result{Entropy: entropy, ClientTime: time.Since(start), BinaryPred: binaryPred}
+	// One tau load per decision: the same value feeds the exit test and
+	// the telemetry frame, so a concurrent SetTau/controller push cannot
+	// mix thresholds within this recognition.
+	tau := c.Tau()
+	res := Result{Entropy: entropy, Tau: tau, ClientTime: time.Since(start), BinaryPred: binaryPred}
 	res.Stages.Local = res.ClientTime
 
-	if exitpolicy.ShouldExit(entropy, c.tau) {
+	if exitpolicy.ShouldExit(entropy, tau) && !c.mustFlush() {
 		res.Exited = true
 		res.Pred = binaryPred
 		c.pendingExits.Add(1)
 		return res, nil
 	}
 
-	tel := c.telemetryFor(entropy, binaryPred)
+	tel := c.telemetryFor(entropy, binaryPred, tau)
 	encodeStart := time.Now()
 	var buf bytes.Buffer
 	if err := collab.WriteTensorTelemetry(&buf, shared, c.wireCodec(), tel); err != nil {
@@ -272,15 +332,17 @@ func (c *Client) Recognize(ctx context.Context, x *tensor.Tensor) (Result, error
 		res.RequestID = ir.RequestID
 	}
 	res.BinaryAgree = ir.BinaryAgree
+	c.applyTauPush(ir.Tau)
 	return res, nil
 }
 
 // telemetryFor builds the offload frame's decision-telemetry block,
-// draining the pending local-exit count into it. It returns nil when
-// telemetry is disabled (the client then sends plain v2/v1 frames). A
-// caller whose request ultimately fails must hand the exits back with
-// refundExits so the edge's exit counts stay complete.
-func (c *Client) telemetryFor(entropy float64, binaryPred int) *collab.Telemetry {
+// draining the pending local-exit count into it. tau is the threshold
+// the caller's decision actually used (loaded once per decision). It
+// returns nil when telemetry is disabled (the client then sends plain
+// v2/v1 frames). A caller whose request ultimately fails must hand the
+// exits back with refundExits so the edge's exit counts stay complete.
+func (c *Client) telemetryFor(entropy float64, binaryPred int, tau float64) *collab.Telemetry {
 	if c.noTelemetry {
 		return nil
 	}
@@ -290,9 +352,16 @@ func (c *Client) telemetryFor(entropy float64, binaryPred int) *collab.Telemetry
 		exits = collab.MaxLocalExits
 	}
 	return &collab.Telemetry{
-		Entropy: entropy, Tau: c.tau,
+		Entropy: entropy, Tau: tau,
 		BinaryPred: binaryPred, LocalExits: int(exits),
 	}
+}
+
+// mustFlush reports whether the exit backlog has reached the configured
+// flush limit, forcing the next would-exit decision to offload instead so
+// the backlog (and a controller's feedback) reaches the edge.
+func (c *Client) mustFlush() bool {
+	return c.flushEvery > 0 && !c.noTelemetry && c.pendingExits.Load() >= int64(c.flushEvery)
 }
 
 // refundExits returns a failed request's piggybacked exit count to the
