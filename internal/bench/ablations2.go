@@ -22,6 +22,7 @@ func moreAblations() []Experiment {
 		{ID: "stages", Title: "Measured per-stage offload decomposition (client clocks + edge trace echo)", Run: (*Runner).Stages},
 		{ID: "exitdrift", Title: "Exit-rate and entropy drift under class-skewed replay (live edge telemetry)", Run: (*Runner).ExitDrift},
 		{ID: "exitloop", Title: "Closed-loop tau control recovering the exit rate under class skew", Run: (*Runner).ExitLoop},
+		{ID: "kernels", Title: "Blocked+fused GEMM throughput vs unrolled baseline; replica allocs/op", Run: (*Runner).Kernels},
 	}
 }
 

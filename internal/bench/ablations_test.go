@@ -12,6 +12,7 @@ func TestAblationRegistry(t *testing.T) {
 		"ablation-links", "offload-bytes",
 		"ablation-concurrency", "ablation-energy", "ablation-bits",
 		"throughput", "batching", "stages", "exitdrift", "exitloop",
+		"kernels",
 	}
 	got := Ablations()
 	if len(got) != len(want) {
@@ -230,6 +231,27 @@ func TestExitLoopQuick(t *testing.T) {
 		"Closed-loop tau control under class skew",
 		"Trailing exit rate", "converged at request",
 		"client uptake tau",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestKernelsQuick renders the kernel-throughput table and the replica
+// allocation budget end to end in quick mode. The speedup itself is
+// acceptance-gated by the tensor benchmarks and the edge allocs test; here
+// we only pin that the experiment runs and reports both sections.
+func TestKernelsQuick(t *testing.T) {
+	r := quickRunner()
+	if err := r.Kernels(); err != nil {
+		t.Fatal(err)
+	}
+	out := output(r)
+	for _, want := range []string{
+		"Kernel throughput", "Unrolled GB/s", "Blocked GB/s", "Speedup",
+		"conv2-fwd 192x576x256",
+		"Serving replica steady state", "allocs/op", "arena footprint",
 	} {
 		if !strings.Contains(out, want) {
 			t.Fatalf("missing %q:\n%s", want, out)

@@ -1,0 +1,10 @@
+//go:build !race
+
+package bench
+
+// raceEnabled reports whether the binary was built with -race. The kernels
+// experiment annotates its allocs/op line with it: the race runtime's own
+// allocations make the zero-alloc budget unmeasurable. (The *_test.go
+// raceDetectorOn const covers test-only sweeps; this one is for experiment
+// code linked into lcrs-inspect.)
+const raceEnabled = false

@@ -1,0 +1,7 @@
+//go:build race
+
+package bench
+
+// raceEnabled reports whether the binary was built with -race.
+// See race_off.go.
+const raceEnabled = true

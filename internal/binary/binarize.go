@@ -92,8 +92,21 @@ func WeightGradThrough(grad, dEst, w *tensor.Tensor, alphas []float32) {
 // kh x kw mean filter at the conv geometry, yielding one scale per output
 // position. The result has length OutH*OutW.
 func InputScales(g tensor.ConvGeom, img []float32) []float32 {
+	k := make([]float32, g.OutH()*g.OutW())
+	InputScalesInto(k, make([]float32, g.InH*g.InW), g, img)
+	return k
+}
+
+// InputScalesInto is InputScales writing into caller-provided storage: dst
+// must have length OutH*OutW and aplane length InH*InW (used as scratch for
+// the channel-mean plane). It performs no allocations, which keeps the
+// fused binary-conv forward off the heap.
+func InputScalesInto(dst, aplane []float32, g tensor.ConvGeom, img []float32) {
 	inHW := g.InH * g.InW
-	a := make([]float32, inHW)
+	a := aplane[:inHW]
+	for i := range a {
+		a[i] = 0
+	}
 	invC := 1 / float32(g.InC)
 	for c := 0; c < g.InC; c++ {
 		plane := img[c*inHW : (c+1)*inHW]
@@ -106,7 +119,7 @@ func InputScales(g tensor.ConvGeom, img []float32) []float32 {
 		}
 	}
 	outH, outW := g.OutH(), g.OutW()
-	k := make([]float32, outH*outW)
+	k := dst[:outH*outW]
 	invKK := 1 / float32(g.KH*g.KW)
 	idx := 0
 	for oy := 0; oy < outH; oy++ {
@@ -131,7 +144,6 @@ func InputScales(g tensor.ConvGeom, img []float32) []float32 {
 			idx++
 		}
 	}
-	return k
 }
 
 // RowScale returns beta = mean |x| of a vector, the dense-layer analogue of

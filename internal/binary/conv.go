@@ -32,6 +32,14 @@ type Conv2D struct {
 	// inference scratch, reused across eval forward passes (see
 	// nn.Conv2D.colsBuffer for the aliasing rules; not concurrency safe).
 	scratchRaw, scratchCols, scratchK []float32
+
+	// Fused-path scratch: wEst holds the binarized weight matrix, aplane
+	// the channel-mean |I| plane for InputScalesInto, panel the pack
+	// buffer, st the reusable fused-GEMM driver. Like the buffers above
+	// these persist across eval forwards; the fused path never touches
+	// scratchRaw/scratchCols, so the full cols matrix is not materialized.
+	wEst, aplane, panel []float32
+	st                  tensor.ConvGemmState
 }
 
 // CloneForInference implements nn.ForwardContext: the clone shares the
@@ -121,6 +129,10 @@ func (c *Conv2D) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 	p := outH * outW
 	k := c.InC * c.KH * c.KW
 
+	if !train && nn.FusedConvEnabled() {
+		return c.forwardFused(x, g, nn0, p, k, outH, outW)
+	}
+
 	// Binarize weights: W~ = alpha * sign(W).
 	wEst := tensor.New(c.OutC, k)
 	alphas := EstimateWeights(wEst, c.Weight.Value.Reshape(c.OutC, k))
@@ -169,6 +181,46 @@ func (c *Conv2D) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 		c.lastK = kAll
 		c.lastAlpha = alphas
 		c.lastGeom = g
+	}
+	return out
+}
+
+// forwardFused is the eval-mode binary convolution: the ±K_p sign matrix is
+// packed panel-by-panel (tensor.ConvGemmState with Scale set) and consumed
+// by the blocked kernels, so neither the raw im2col matrix nor the scaled
+// sign matrix is ever materialized. Per output element the accumulation is
+// the same single ascending-k chain plus one bias add as the legacy
+// MatMulTransB path, so outputs are bitwise identical (conv_fuse_test.go).
+func (c *Conv2D) forwardFused(x *tensor.Tensor, g tensor.ConvGeom, n, p, k, outH, outW int) *tensor.Tensor {
+	grow := func(buf *[]float32, need int) []float32 {
+		if cap(*buf) < need {
+			*buf = make([]float32, need)
+		}
+		return (*buf)[:need]
+	}
+	// Binarize weights: W~ = alpha * sign(W). The alphas are folded into
+	// wEst; they are only needed separately by Backward.
+	wEst := tensor.FromSlice(grow(&c.wEst, c.OutC*k), c.OutC, k)
+	EstimateWeights(wEst, c.Weight.Value.Reshape(c.OutC, k))
+
+	out := tensor.New(n, c.OutC, outH, outW)
+	ks := grow(&c.scratchK, p)
+	aplane := grow(&c.aplane, g.InH*g.InW)
+	st := &c.st
+	st.G = g
+	st.OutC = c.OutC
+	st.W = wEst.Data
+	st.Bias = c.Bias.Value.Data
+	st.Panel = grow(&c.panel, tensor.ConvPanelLen(k, p))
+	sample := g.InC * g.InH * g.InW
+	plane := c.OutC * p
+	for i := 0; i < n; i++ {
+		img := x.Data[i*sample : (i+1)*sample]
+		InputScalesInto(ks, aplane, g, img)
+		st.Scale = ks
+		st.Img = img
+		st.Out = out.Data[i*plane : (i+1)*plane]
+		st.Run()
 	}
 	return out
 }

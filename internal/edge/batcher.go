@@ -209,17 +209,17 @@ func (b *batcher) run(batch []*batchRequest, total int) {
 	m := e.checkout()
 	queueWait := time.Since(queueStart)
 	start := time.Now()
+	m.ResetScratch()
 	logits := m.ForwardMainRest(t, false)
 	elapsed := time.Since(start)
-	e.checkin(m)
-	e.stats.ComputeMicros.Add(elapsed.Microseconds())
-	e.stats.Batches.Add(1)
-	e.stats.observeBatch(total)
-
+	// logits live in the replica's arena, so every per-request result is
+	// materialized before the replica goes back to the pool (the next
+	// checkout's ResetScratch recycles the storage).
 	coalesced := len(batch) > 1
+	results := make([]batchResult, len(batch))
 	off := 0
-	for _, r := range batch {
-		res := batchResult{
+	for i, r := range batch {
+		results[i] = batchResult{
 			preds:     argmaxRows(logits, off, off+r.n),
 			probs:     make([]float32, logits.Dim(1)),
 			micros:    elapsed.Microseconds(),
@@ -228,9 +228,16 @@ func (b *batcher) run(batch []*batchRequest, total int) {
 			queueWait: queueWait,
 			forward:   elapsed,
 		}
-		tensor.SoftmaxRow(res.probs, logits.Row(off))
+		tensor.SoftmaxRow(results[i].probs, logits.Row(off))
 		off += r.n
-		r.done <- res
+	}
+	e.checkin(m)
+	e.stats.ComputeMicros.Add(elapsed.Microseconds())
+	e.stats.Batches.Add(1)
+	e.stats.observeBatch(total)
+
+	for i, r := range batch {
+		r.done <- results[i]
 	}
 }
 

@@ -380,12 +380,17 @@ func (s *Server) Register(name string, m *models.Composite) error {
 	n := s.replicasFor()
 	pool := make(chan *models.Composite, n)
 	for i := 0; i < n; i++ {
-		r := m.CloneForInference()
-		if s.batchMax > 1 {
-			// Size every scratch buffer for full coalesced batches now, so
-			// the first burst does not pay the im2col allocations.
-			r.WarmMainRest(s.batchMax)
+		// Serving replicas draw per-request scratch from a private bump
+		// arena. Warming for the largest batch the replica will ever see
+		// drives every slab to its high-water mark, so steady-state
+		// forwards allocate nothing (the CI allocs budget test pins this).
+		r := m.CloneForServing()
+		warm := s.batchMax
+		if warm < 1 {
+			warm = 1
 		}
+		r.WarmMainRest(warm)
+		r.ResetScratch()
 		pool <- r
 	}
 	e := &entry{model: m, bundle: bundle, replicas: pool, stats: newModelStats(s.metrics, name)}
@@ -707,16 +712,19 @@ func inferOn(name string, e *entry, t *tensor.Tensor, tr *trace) InferResponse {
 	m := e.checkout()
 	tr.stages[stageQueue] = time.Since(queueStart)
 	start := time.Now()
+	m.ResetScratch()
 	logits := m.ForwardMainRest(t, false)
 	elapsed := time.Since(start)
+	// logits live in the replica's arena: everything the response needs
+	// must be extracted before the replica returns to the pool, where the
+	// next request's ResetScratch recycles the storage.
+	probs := make([]float32, logits.Dim(1))
+	tensor.SoftmaxRow(probs, logits.Row(0))
+	preds := argmaxRows(logits, 0, logits.Dim(0))
 	e.checkin(m)
 	tr.stages[stageForward] = elapsed
 	e.stats.InferRequests.Inc()
 	e.stats.ComputeMicros.Add(elapsed.Microseconds())
-
-	probs := make([]float32, logits.Dim(1))
-	tensor.SoftmaxRow(probs, logits.Row(0))
-	preds := argmaxRows(logits, 0, logits.Dim(0))
 	return InferResponse{
 		Model:        name,
 		Pred:         preds[0],

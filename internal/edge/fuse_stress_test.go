@@ -1,0 +1,102 @@
+package edge
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"math"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+
+	"lcrs/internal/collab"
+	"lcrs/internal/nn"
+	"lcrs/internal/tensor"
+)
+
+// Concurrent batched inference on the fused/arena serving path must return
+// probabilities bitwise identical to the legacy (unfused, heap-allocating)
+// kernels: encoding/json round-trips float32 exactly, so the comparison
+// holds through the full HTTP path. Run under -race this also shakes out
+// data races between replicas sharing weights, the batcher's scatter loop,
+// and arena recycling.
+func TestInferFusedBitwiseMatchesLegacyUnderLoad(t *testing.T) {
+	if !nn.FusedConvEnabled() {
+		t.Skip("fusion disabled (nofuse build or LCRS_NOFUSE)")
+	}
+	s := newServer(t, WithBatching(4, 0), WithReplicas(2))
+	m := testModel(t)
+	if err := s.Register("lenet-mnist", m); err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	srv := httptest.NewServer(s.Handler())
+	defer srv.Close()
+
+	// Reference probabilities from the legacy path, computed before any
+	// traffic so the global fuse toggle never flips under the server.
+	g := tensor.NewRNG(29)
+	const jobs = 24
+	type job struct {
+		frame []byte
+		want  []float32
+	}
+	prev := nn.SetFusedConv(false)
+	js := make([]job, jobs)
+	for i := range js {
+		x := g.Uniform(-1, 1, 1, 1, 28, 28)
+		shared := m.ForwardShared(x, false)
+		var buf bytes.Buffer
+		if err := collab.WriteTensor(&buf, shared); err != nil {
+			nn.SetFusedConv(prev)
+			t.Fatal(err)
+		}
+		logits := m.ForwardMainRest(shared, false)
+		probs := make([]float32, logits.Dim(1))
+		tensor.SoftmaxRow(probs, logits.Row(0))
+		js[i] = job{frame: buf.Bytes(), want: probs}
+	}
+	nn.SetFusedConv(prev)
+
+	var wg sync.WaitGroup
+	errs := make(chan error, jobs)
+	for i := range js {
+		wg.Add(1)
+		go func(id int, j job) {
+			defer wg.Done()
+			resp, err := http.Post(srv.URL+"/v1/infer/lenet-mnist", "application/octet-stream",
+				bytes.NewReader(j.frame))
+			if err != nil {
+				errs <- err
+				return
+			}
+			defer resp.Body.Close()
+			if resp.StatusCode != http.StatusOK {
+				errs <- fmt.Errorf("job %d: %s", id, resp.Status)
+				return
+			}
+			var ir InferResponse
+			if err := json.NewDecoder(resp.Body).Decode(&ir); err != nil {
+				errs <- fmt.Errorf("job %d: %v", id, err)
+				return
+			}
+			if len(ir.Probs) != len(j.want) {
+				errs <- fmt.Errorf("job %d: %d probs, want %d", id, len(ir.Probs), len(j.want))
+				return
+			}
+			for k := range j.want {
+				if math.Float32bits(ir.Probs[k]) != math.Float32bits(j.want[k]) {
+					errs <- fmt.Errorf("job %d: prob %d = %x, legacy %x", id, k,
+						math.Float32bits(ir.Probs[k]), math.Float32bits(j.want[k]))
+					return
+				}
+			}
+		}(i, js[i])
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,8 @@
+//go:build !race
+
+package edge
+
+// raceDetectorOn reports whether this test binary was built with -race.
+// The zero-allocation budget test consults it: the race runtime adds its
+// own allocations, so the budget is only meaningful without it.
+const raceDetectorOn = false

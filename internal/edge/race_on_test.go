@@ -1,0 +1,7 @@
+//go:build race
+
+package edge
+
+// raceDetectorOn reports whether this test binary was built with -race.
+// See race_off_test.go.
+const raceDetectorOn = true

@@ -62,6 +62,10 @@ type Composite struct {
 	Binary *nn.Sequential
 	// Cfg is the configuration the network was built with.
 	Cfg Config
+
+	// arena backs per-request eval scratch on CloneForServing replicas;
+	// nil on the original model and plain CloneForInference copies.
+	arena *tensor.Arena
 }
 
 // CloneForInference returns an eval-mode forward context for the network:
@@ -79,6 +83,38 @@ func (m *Composite) CloneForInference() *Composite {
 		Binary:   nn.CloneForInference(m.Binary).(*nn.Sequential),
 		Cfg:      m.Cfg,
 	}
+}
+
+// CloneForServing returns an inference clone whose MainRest layers draw
+// their eval outputs and pack panels from a shared bump arena instead of
+// the heap. After warm-up the arena's slabs have reached their high-water
+// mark and a steady-state ForwardMainRest performs zero heap allocations
+// (edge.TestServerReplicaForwardZeroAllocs). The contract: call
+// ResetScratch before each request's forward, and copy anything you need
+// out of the returned tensors before the next Reset — arena storage is
+// recycled, not freed.
+func (m *Composite) CloneForServing() *Composite {
+	c := m.CloneForInference()
+	c.arena = tensor.NewArena()
+	nn.InstallArena(c.MainRest, c.arena)
+	return c
+}
+
+// ResetScratch recycles the replica's arena scratch (no-op without one).
+// Tensors returned by earlier forwards on this replica become invalid.
+func (m *Composite) ResetScratch() {
+	if m.arena != nil {
+		m.arena.Reset()
+	}
+}
+
+// ScratchFootprintBytes reports the replica arena's slab capacity — the
+// per-replica steady-state scratch cost — or 0 without an arena.
+func (m *Composite) ScratchFootprintBytes() int64 {
+	if m.arena == nil {
+		return 0
+	}
+	return m.arena.FootprintBytes()
 }
 
 // Validate checks internal shape consistency and returns a descriptive

@@ -6,12 +6,20 @@ import (
 
 // ReLU is the rectified linear activation, applied element-wise.
 type ReLU struct {
-	name string
-	mask []bool // true where input > 0 in the last training forward
+	name  string
+	mask  []bool // true where input > 0 in the last training forward
+	arena *tensor.Arena
 }
 
 // NewReLU constructs a ReLU activation layer.
 func NewReLU(name string) *ReLU { return &ReLU{name: name} }
+
+// SetArena implements ArenaScratch.
+func (r *ReLU) SetArena(a *tensor.Arena) { r.arena = a }
+
+// CloneForInference implements ForwardContext; the clone owns private
+// eval state (the arena installed on a serving replica).
+func (r *ReLU) CloneForInference() Layer { return &ReLU{name: r.name} }
 
 // Name implements Layer.
 func (r *ReLU) Name() string { return r.name }
@@ -25,23 +33,32 @@ func (r *ReLU) OutShape(in []int) []int { return append([]int(nil), in...) }
 // FLOPs implements Layer.
 func (r *ReLU) FLOPs(in []int) int64 { return int64(shapeProduct(in)) }
 
-// Forward implements Layer.
+// Forward implements Layer. Every output element is written explicitly —
+// arena-backed eval outputs recycle a previous request's bytes, so relying
+// on zeroed storage for the negative lanes would leak stale values.
 func (r *ReLU) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
-	out := tensor.New(x.Shape...)
-	if train {
-		if cap(r.mask) < len(x.Data) {
-			r.mask = make([]bool, len(x.Data))
+	if !train {
+		out := evalTensor(r.arena, x.Shape...)
+		for i, v := range x.Data {
+			if v > 0 {
+				out.Data[i] = v
+			} else {
+				out.Data[i] = 0
+			}
 		}
-		r.mask = r.mask[:len(x.Data)]
+		return out
 	}
+	out := tensor.New(x.Shape...)
+	if cap(r.mask) < len(x.Data) {
+		r.mask = make([]bool, len(x.Data))
+	}
+	r.mask = r.mask[:len(x.Data)]
 	for i, v := range x.Data {
 		pos := v > 0
 		if pos {
 			out.Data[i] = v
 		}
-		if train {
-			r.mask[i] = pos
-		}
+		r.mask[i] = pos
 	}
 	return out
 }
@@ -62,10 +79,17 @@ func (r *ReLU) Backward(dout *tensor.Tensor) *tensor.Tensor {
 type Flatten struct {
 	name      string
 	lastShape []int
+	arena     *tensor.Arena
 }
 
 // NewFlatten constructs a flatten layer.
 func NewFlatten(name string) *Flatten { return &Flatten{name: name} }
+
+// SetArena implements ArenaScratch.
+func (f *Flatten) SetArena(a *tensor.Arena) { f.arena = a }
+
+// CloneForInference implements ForwardContext.
+func (f *Flatten) CloneForInference() Layer { return &Flatten{name: f.name} }
 
 // Name implements Layer.
 func (f *Flatten) Name() string { return f.name }
@@ -79,8 +103,13 @@ func (f *Flatten) OutShape(in []int) []int { return []int{shapeProduct(in)} }
 // FLOPs implements Layer.
 func (f *Flatten) FLOPs(in []int) int64 { return 0 }
 
-// Forward implements Layer.
+// Forward implements Layer. Reshape allocates a fresh header; on an
+// arena-equipped eval path the header comes from the arena instead, so
+// the flatten costs nothing per request.
 func (f *Flatten) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+	if !train && f.arena != nil {
+		return f.arena.View(x, x.Dim(0), x.Len()/x.Dim(0))
+	}
 	if train {
 		f.lastShape = append([]int(nil), x.Shape...)
 	}

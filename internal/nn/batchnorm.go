@@ -28,6 +28,21 @@ type BatchNorm struct {
 	lastXHat   []float32
 	lastMean   []float32
 	lastInvStd []float32
+
+	arena *tensor.Arena
+}
+
+// SetArena implements ArenaScratch.
+func (bn *BatchNorm) SetArena(a *tensor.Arena) { bn.arena = a }
+
+// CloneForInference implements ForwardContext: the clone shares Gamma,
+// Beta and the running statistics but owns private eval state.
+func (bn *BatchNorm) CloneForInference() Layer {
+	return &BatchNorm{
+		name: bn.name, C: bn.C, Eps: bn.Eps, Momentum: bn.Momentum,
+		Gamma: bn.Gamma, Beta: bn.Beta,
+		RunningMean: bn.RunningMean, RunningVar: bn.RunningVar,
+	}
 }
 
 // NewBatchNorm constructs a batch normalization layer for c channels.
@@ -90,9 +105,11 @@ func (bn *BatchNorm) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 	perChan := bn.checkShape(x)
 	n := x.Dim(0)
 	m := float64(n * perChan) // elements per channel across the batch
-	out := tensor.New(x.Shape...)
 
 	if !train {
+		// Every element is written (the per-channel sweep covers the whole
+		// tensor), so uninitialized arena storage is safe.
+		out := evalTensor(bn.arena, x.Shape...)
 		for c := 0; c < bn.C; c++ {
 			invStd := float32(1 / math.Sqrt(float64(bn.RunningVar.Data[c])+float64(bn.Eps)))
 			scale := bn.Gamma.Value.Data[c] * invStd
@@ -132,6 +149,7 @@ func (bn *BatchNorm) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 		bn.RunningVar.Data[c] = (1-bn.Momentum)*bn.RunningVar.Data[c] + bn.Momentum*variance[c]
 	}
 
+	out := tensor.New(x.Shape...)
 	xhat := make([]float32, x.Len())
 	for c := 0; c < bn.C; c++ {
 		g, b := bn.Gamma.Value.Data[c], bn.Beta.Value.Data[c]

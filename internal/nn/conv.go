@@ -30,9 +30,23 @@ type Conv2D struct {
 	// are therefore not safe for concurrent Forward calls; callers that
 	// share a model across goroutines must either serialize or run each
 	// goroutine on its own CloneForInference copy (the edge server's
-	// replica pool does the latter).
+	// replica pool does the latter). The fused inference path never
+	// materializes the cols matrix, so scratch stays empty there; it only
+	// grows on the legacy (train or nofuse) path.
 	scratch []float32
+
+	// Fused-path state: panel is the K x convNC pack buffer (persistent
+	// here, or carved from arena when one is installed), st the reusable
+	// fused-GEMM driver, arena the serving replica's scratch arena (nil
+	// outside CloneForServing replicas).
+	panel []float32
+	st    tensor.ConvGemmState
+	arena *tensor.Arena
 }
+
+// SetArena implements ArenaScratch: eval outputs and the pack panel are
+// served from a, making steady-state eval forwards allocation-free.
+func (c *Conv2D) SetArena(a *tensor.Arena) { c.arena = a }
 
 // CloneForInference implements ForwardContext: the clone shares Weight and
 // Bias with the receiver but owns private scratch state, so eval-mode
@@ -119,6 +133,10 @@ func (c *Conv2D) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 	p := outH * outW
 	k := c.InC * c.KH * c.KW
 
+	if !train && FusedConvEnabled() {
+		return c.forwardFused(x, g, n, p, k, outH, outW)
+	}
+
 	out := tensor.New(n, c.OutC, outH, outW)
 	wd := c.Weight.Value.Data // (OutC, K) row-major
 
@@ -158,6 +176,46 @@ func (c *Conv2D) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 		c.lastInput = x
 		c.lastCols = colsAll
 		c.lastGeom = g
+	}
+	return out
+}
+
+// forwardFused is the eval-mode convolution: im2col panels are packed and
+// consumed tile-by-tile (tensor.ConvGemmState), so the full cols matrix is
+// never materialized. Per output element the accumulation is the same
+// single ascending-k chain plus one bias add as the legacy kernel above,
+// so fused and legacy outputs are bitwise identical (conv_fuse_test.go).
+// With an arena installed the pass performs no heap allocations at steady
+// state; samples are sliced from x.Data directly (x.Batch would allocate a
+// header per sample).
+func (c *Conv2D) forwardFused(x *tensor.Tensor, g tensor.ConvGeom, n, p, k, outH, outW int) *tensor.Tensor {
+	out := evalTensor(c.arena, n, c.OutC, outH, outW)
+	need := tensor.ConvPanelLen(k, p)
+	var panel []float32
+	if c.arena != nil {
+		panel = c.arena.Floats(need)
+	} else {
+		if cap(c.panel) < need {
+			c.panel = make([]float32, need)
+		}
+		panel = c.panel[:need]
+	}
+	st := &c.st
+	st.G = g
+	st.OutC = c.OutC
+	st.W = c.Weight.Value.Data
+	st.Bias = nil
+	if c.UseBias {
+		st.Bias = c.Bias.Value.Data
+	}
+	st.Scale = nil
+	st.Panel = panel
+	sample := g.InC * g.InH * g.InW
+	plane := c.OutC * p
+	for i := 0; i < n; i++ {
+		st.Img = x.Data[i*sample : (i+1)*sample]
+		st.Out = out.Data[i*plane : (i+1)*plane]
+		st.Run()
 	}
 	return out
 }

@@ -45,6 +45,8 @@ func TestConv2DParallelForwardBitwiseDeterministic(t *testing.T) {
 // Eval-mode forwards on a CloneForInference copy must agree bitwise with
 // the original and leave the original's scratch untouched by the clone.
 func TestConv2DCloneForInferenceSharesParams(t *testing.T) {
+	prevFuse := SetFusedConv(true) // pin the fused path even under -tags nofuse
+	defer SetFusedConv(prevFuse)
 	g := tensor.NewRNG(5)
 	c := NewConv2D("c", g, 3, 6, 3, 3, 1, 1)
 	clone, ok := CloneForInference(c).(*Conv2D)
@@ -62,6 +64,16 @@ func TestConv2DCloneForInferenceSharesParams(t *testing.T) {
 			t.Fatalf("clone forward differs at %d", i)
 		}
 	}
+	// The fused eval path never materializes the cols matrix, so neither
+	// side should have grown im2col scratch.
+	if len(clone.scratch) != 0 || len(c.scratch) != 0 {
+		t.Fatalf("fused eval must not grow cols scratch (clone %d, orig %d)",
+			len(clone.scratch), len(c.scratch))
+	}
+	// On the legacy path (fusion disabled) each instance owns its scratch.
+	SetFusedConv(false)
+	c.Forward(x, false)
+	clone.Forward(x, false)
 	if len(clone.scratch) == 0 {
 		t.Fatal("clone must have used its own scratch")
 	}

@@ -1,0 +1,7 @@
+//go:build !nofuse
+
+package nn
+
+// fuseBuildDefault is the compiled-in default for the fused convolution
+// path; the nofuse build tag flips it (fuse_nofuse.go).
+const fuseBuildDefault = true

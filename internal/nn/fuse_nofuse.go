@@ -1,0 +1,8 @@
+//go:build nofuse
+
+package nn
+
+// fuseBuildDefault under -tags nofuse: every convolution takes the legacy
+// materialized-im2col path. The escape hatch for bisecting fused-path
+// regressions; CI builds and tests this configuration.
+const fuseBuildDefault = false

@@ -15,6 +15,25 @@ type Linear struct {
 	Bias    *Param // (Out)
 
 	lastInput *tensor.Tensor
+
+	// Eval fast-path state: kern is the persistent ParallelFor body (a
+	// method value, created once so steady-state forwards do not allocate
+	// a closure), evalIn/evalOut the tensors it operates on during one
+	// Forward call, arena the serving replica's scratch arena (nil unless
+	// installed via SetArena).
+	kern            func(lo, hi int)
+	evalIn, evalOut *tensor.Tensor
+	arena           *tensor.Arena
+}
+
+// SetArena implements ArenaScratch.
+func (l *Linear) SetArena(a *tensor.Arena) { l.arena = a }
+
+// CloneForInference implements ForwardContext: the clone shares Weight and
+// Bias but owns private eval state, so concurrent eval forwards on clone
+// and original are safe.
+func (l *Linear) CloneForInference() Layer {
+	return &Linear{name: l.name, In: l.In, Out: l.Out, Weight: l.Weight, Bias: l.Bias}
 }
 
 // NewLinear constructs a dense layer with Kaiming-initialized weights.
@@ -49,6 +68,20 @@ func (l *Linear) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 	if x.Dim(1) != l.In {
 		panic(fmt.Sprintf("nn: %s expects %d input features, got %d", l.name, l.In, x.Dim(1)))
 	}
+	if !train {
+		// Zero-alloc eval path: output from the arena (heap if none),
+		// columns computed by the persistent chunk body. Per element this
+		// is the same ascending-k dot product plus one bias add as the
+		// train path below, so results are bitwise identical to it.
+		out := evalTensor(l.arena, x.Dim(0), l.Out)
+		if l.kern == nil {
+			l.kern = l.evalRange
+		}
+		l.evalIn, l.evalOut = x, out
+		tensor.ParallelFor(l.Out, l.kern)
+		l.evalIn, l.evalOut = nil, nil
+		return out
+	}
 	// (N x In) x (Out x In)^T = N x Out
 	out := tensor.MatMulTransB(x, l.Weight.Value)
 	for i := 0; i < out.Dim(0); i++ {
@@ -57,10 +90,23 @@ func (l *Linear) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 			row[j] += l.Bias.Value.Data[j]
 		}
 	}
-	if train {
-		l.lastInput = x
-	}
+	l.lastInput = x
 	return out
+}
+
+// evalRange computes output columns [lo, hi) of the eval forward: the
+// transposed-B GEMM columns plus their bias. Chunks own disjoint columns,
+// so any worker count gives bitwise-identical results.
+func (l *Linear) evalRange(lo, hi int) {
+	tensor.TransBRange(l.evalOut, l.evalIn, l.Weight.Value, lo, hi)
+	bd := l.Bias.Value.Data
+	n := l.evalOut.Dim(0)
+	for i := 0; i < n; i++ {
+		row := l.evalOut.Row(i)
+		for j := lo; j < hi; j++ {
+			row[j] += bd[j]
+		}
+	}
 }
 
 // Backward implements Layer.

@@ -16,11 +16,20 @@ type MaxPool2D struct {
 
 	lastShape []int
 	argmax    []int32 // flat input index chosen for each output element
+	arena     *tensor.Arena
 }
 
 // NewMaxPool2D constructs a max pooling layer with a square window.
 func NewMaxPool2D(name string, k, stride, pad int) *MaxPool2D {
 	return &MaxPool2D{name: name, K: k, Stride: stride, Pad: pad}
+}
+
+// SetArena implements ArenaScratch.
+func (m *MaxPool2D) SetArena(a *tensor.Arena) { m.arena = a }
+
+// CloneForInference implements ForwardContext.
+func (m *MaxPool2D) CloneForInference() Layer {
+	return &MaxPool2D{name: m.name, K: m.K, Stride: m.Stride, Pad: m.Pad}
 }
 
 // Name implements Layer.
@@ -54,7 +63,14 @@ func (m *MaxPool2D) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 	n, c := x.Dim(0), x.Dim(1)
 	g := m.geom(x.Shape[1:])
 	outH, outW := g.OutH(), g.OutW()
-	out := tensor.New(n, c, outH, outW)
+	var out *tensor.Tensor
+	if train {
+		out = tensor.New(n, c, outH, outW)
+	} else {
+		// Every output element is written below (all-padding windows
+		// store 0 explicitly), so uninitialized arena storage is safe.
+		out = evalTensor(m.arena, n, c, outH, outW)
+	}
 	if train {
 		m.lastShape = append([]int(nil), x.Shape...)
 		if cap(m.argmax) < out.Len() {
@@ -125,11 +141,20 @@ type AvgPool2D struct {
 	Stride int
 
 	lastShape []int
+	arena     *tensor.Arena
 }
 
 // NewAvgPool2D constructs an average pooling layer with a square window.
 func NewAvgPool2D(name string, k, stride int) *AvgPool2D {
 	return &AvgPool2D{name: name, K: k, Stride: stride}
+}
+
+// SetArena implements ArenaScratch.
+func (a *AvgPool2D) SetArena(ar *tensor.Arena) { a.arena = ar }
+
+// CloneForInference implements ForwardContext.
+func (a *AvgPool2D) CloneForInference() Layer {
+	return &AvgPool2D{name: a.name, K: a.K, Stride: a.Stride}
 }
 
 // Name implements Layer.
@@ -161,7 +186,12 @@ func (a *AvgPool2D) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 	g := a.geom(x.Shape[1:])
 	outH, outW := g.OutH(), g.OutW()
 	inH, inW := x.Dim(2), x.Dim(3)
-	out := tensor.New(n, c, outH, outW)
+	var out *tensor.Tensor
+	if train {
+		out = tensor.New(n, c, outH, outW)
+	} else {
+		out = evalTensor(a.arena, n, c, outH, outW) // every element written below
+	}
 	inv := 1 / float32(a.K*a.K)
 	oi := 0
 	for b := 0; b < n; b++ {

@@ -99,13 +99,19 @@ type Residual struct {
 	Body     *Sequential
 	Shortcut *Sequential // nil means identity
 
-	relu *ReLU
+	relu  *ReLU
+	arena *tensor.Arena
 }
 
 // NewResidual constructs a residual block.
 func NewResidual(name string, body, shortcut *Sequential) *Residual {
 	return &Residual{name: name, Body: body, Shortcut: shortcut, relu: NewReLU(name + ".relu")}
 }
+
+// SetArena implements ArenaScratch. Walk installs arenas on Body and
+// Shortcut children separately; this one covers the block's own add+relu
+// output (r.relu is bypassed on the eval path, see Forward).
+func (r *Residual) SetArena(a *tensor.Arena) { r.arena = a }
 
 // Name implements Layer.
 func (r *Residual) Name() string { return r.name }
@@ -141,6 +147,24 @@ func (r *Residual) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 	}
 	if !main.SameShape(skip) {
 		panic(fmt.Sprintf("nn: %s branch shapes differ: %v vs %v", r.name, main.Shape, skip.Shape))
+	}
+	if !train {
+		// Fused add+relu: per element max(main+skip, 0), exactly what
+		// tensor.Add followed by the eval ReLU computes, without the
+		// intermediate sum tensor. Every output element is written, so
+		// uninitialized arena storage is safe. r.relu is shared between a
+		// model and its inference clones (CloneForInference keeps the
+		// pointer), so the eval path must not touch its state.
+		out := evalTensor(r.arena, main.Shape...)
+		sd := skip.Data
+		for i, v := range main.Data {
+			if s := v + sd[i]; s > 0 {
+				out.Data[i] = s
+			} else {
+				out.Data[i] = 0
+			}
+		}
+		return out
 	}
 	sum := tensor.Add(main, skip)
 	return r.relu.Forward(sum, train)

@@ -1,0 +1,54 @@
+//go:build amd64
+
+package tensor
+
+// AVX dispatch for the GEMM microkernels. The assembly kernels
+// (gemm_kernels_amd64.s) use VEX-encoded vmulps/vaddps — per-lane bitwise
+// identical to scalar mul-then-add, so swapping them in changes no output
+// bit — but VEX requires AVX plus OS-enabled YMM state, so detection goes
+// through CPUID and XGETBV at init. Everything below AVX (or GOARCH !=
+// amd64) takes the pure-Go kernels.
+
+// cpuidex and xgetbv0 are implemented in gemm_kernels_amd64.s.
+func cpuidex(leaf, sub uint32) (eax, ebx, ecx, edx uint32)
+func xgetbv0() (eax, edx uint32)
+
+//go:noescape
+func kern4x8asm(a0, a1, a2, a3, bp *float32, k int, acc *[4][8]float32)
+
+//go:noescape
+func kern1x8asm(a0, bp *float32, k int, acc *[8]float32)
+
+// haveAVX reports CPUID AVX + OSXSAVE with XMM|YMM state enabled in XCR0.
+var haveAVX = func() bool {
+	maxID, _, _, _ := cpuidex(0, 0)
+	if maxID < 1 {
+		return false
+	}
+	_, _, ecx, _ := cpuidex(1, 0)
+	const osxsave = 1 << 27
+	const avx = 1 << 28
+	if ecx&osxsave == 0 || ecx&avx == 0 {
+		return false
+	}
+	eax, _ := xgetbv0()
+	return eax&0x6 == 0x6
+}()
+
+func kern4x8(a0, a1, a2, a3, bp []float32, acc *[4][8]float32) {
+	k := len(a0)
+	if haveAVX && k > 0 {
+		kern4x8asm(&a0[0], &a1[0], &a2[0], &a3[0], &bp[0], k, acc)
+		return
+	}
+	kern4x8go(a0, a1, a2, a3, bp, acc)
+}
+
+func kern1x8(a0, bp []float32, acc *[8]float32) {
+	k := len(a0)
+	if haveAVX && k > 0 {
+		kern1x8asm(&a0[0], &bp[0], k, acc)
+		return
+	}
+	kern1x8go(a0, bp, acc)
+}

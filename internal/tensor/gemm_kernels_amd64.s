@@ -1,0 +1,98 @@
+#include "textflag.h"
+
+// AVX microkernels over the interleaved sliver panel: element (kk, lane)
+// of the packed B sliver lives at bp[kk*8+lane], so one VMOVUPS reads a
+// depth step of all 8 output columns. Accumulation uses VMULPS+VADDPS
+// (NOT vfmadd): each lane rounds the product and the sum separately,
+// exactly like the scalar Go expression `acc += a*b`, keeping asm and
+// pure-Go kernels bitwise interchangeable.
+
+// func kern4x8asm(a0, a1, a2, a3, bp *float32, k int, acc *[4][8]float32)
+TEXT ·kern4x8asm(SB), NOSPLIT, $0-56
+	MOVQ a0+0(FP), R8
+	MOVQ a1+8(FP), R9
+	MOVQ a2+16(FP), R10
+	MOVQ a3+24(FP), R11
+	MOVQ bp+32(FP), BX
+	MOVQ k+40(FP), CX
+	MOVQ acc+48(FP), DI
+	VXORPS Y0, Y0, Y0
+	VXORPS Y1, Y1, Y1
+	VXORPS Y2, Y2, Y2
+	VXORPS Y3, Y3, Y3
+	TESTQ CX, CX
+	JZ    done4
+
+loop4:
+	VMOVUPS      (BX), Y4
+	VBROADCASTSS (R8), Y5
+	VMULPS       Y4, Y5, Y5
+	VADDPS       Y5, Y0, Y0
+	VBROADCASTSS (R9), Y6
+	VMULPS       Y4, Y6, Y6
+	VADDPS       Y6, Y1, Y1
+	VBROADCASTSS (R10), Y7
+	VMULPS       Y4, Y7, Y7
+	VADDPS       Y7, Y2, Y2
+	VBROADCASTSS (R11), Y8
+	VMULPS       Y4, Y8, Y8
+	VADDPS       Y8, Y3, Y3
+	ADDQ $4, R8
+	ADDQ $4, R9
+	ADDQ $4, R10
+	ADDQ $4, R11
+	ADDQ $32, BX
+	DECQ CX
+	JNZ  loop4
+
+done4:
+	VMOVUPS Y0, (DI)
+	VMOVUPS Y1, 32(DI)
+	VMOVUPS Y2, 64(DI)
+	VMOVUPS Y3, 96(DI)
+	VZEROUPPER
+	RET
+
+// func kern1x8asm(a0, bp *float32, k int, acc *[8]float32)
+TEXT ·kern1x8asm(SB), NOSPLIT, $0-32
+	MOVQ a0+0(FP), R8
+	MOVQ bp+8(FP), BX
+	MOVQ k+16(FP), CX
+	MOVQ acc+24(FP), DI
+	VXORPS Y0, Y0, Y0
+	TESTQ CX, CX
+	JZ    done1
+
+loop1:
+	VMOVUPS      (BX), Y4
+	VBROADCASTSS (R8), Y5
+	VMULPS       Y4, Y5, Y5
+	VADDPS       Y5, Y0, Y0
+	ADDQ $4, R8
+	ADDQ $32, BX
+	DECQ CX
+	JNZ  loop1
+
+done1:
+	VMOVUPS Y0, (DI)
+	VZEROUPPER
+	RET
+
+// func cpuidex(leaf, sub uint32) (eax, ebx, ecx, edx uint32)
+TEXT ·cpuidex(SB), NOSPLIT, $0-24
+	MOVL leaf+0(FP), AX
+	MOVL sub+4(FP), CX
+	CPUID
+	MOVL AX, eax+8(FP)
+	MOVL BX, ebx+12(FP)
+	MOVL CX, ecx+16(FP)
+	MOVL DX, edx+20(FP)
+	RET
+
+// func xgetbv0() (eax, edx uint32)
+TEXT ·xgetbv0(SB), NOSPLIT, $0-8
+	XORL CX, CX
+	XGETBV
+	MOVL AX, eax+0(FP)
+	MOVL DX, edx+4(FP)
+	RET

@@ -1,0 +1,11 @@
+//go:build !amd64
+
+package tensor
+
+func kern4x8(a0, a1, a2, a3, bp []float32, acc *[4][8]float32) {
+	kern4x8go(a0, a1, a2, a3, bp, acc)
+}
+
+func kern1x8(a0, bp []float32, acc *[8]float32) {
+	kern1x8go(a0, bp, acc)
+}

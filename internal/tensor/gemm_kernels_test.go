@@ -1,0 +1,43 @@
+package tensor
+
+import (
+	"math"
+	"testing"
+)
+
+// TestKernelAsmMatchesGo pins the bitwise interchangeability of the
+// dispatched microkernels (AVX asm on capable amd64 hosts) with the
+// pure-Go reference bodies: vmulps+vaddps must round each lane exactly
+// like the scalar `acc += a*b` chain. On hosts without the asm path the
+// test degenerates to comparing the Go kernel with itself, which keeps it
+// portable.
+func TestKernelAsmMatchesGo(t *testing.T) {
+	rng := NewRNG(99)
+	for _, k := range []int{1, 2, 7, 64, 255, 1000} {
+		a := rng.Uniform(-2, 2, 4, k)
+		bp := rng.Uniform(-2, 2, k*gemmNR)
+		a0, a1, a2, a3 := a.Data[:k], a.Data[k:2*k], a.Data[2*k:3*k], a.Data[3*k:4*k]
+
+		var got4 [gemmMR][gemmNR]float32
+		var want4 [gemmMR][gemmNR]float32
+		kern4x8(a0, a1, a2, a3, bp.Data, &got4)
+		kern4x8go(a0, a1, a2, a3, bp.Data, &want4)
+		for r := 0; r < gemmMR; r++ {
+			for j := 0; j < gemmNR; j++ {
+				if math.Float32bits(got4[r][j]) != math.Float32bits(want4[r][j]) {
+					t.Fatalf("k=%d: kern4x8[%d][%d] = %g, pure-Go %g", k, r, j, got4[r][j], want4[r][j])
+				}
+			}
+		}
+
+		var got1 [gemmNR]float32
+		var want1 [gemmNR]float32
+		kern1x8(a2, bp.Data, &got1)
+		kern1x8go(a2, bp.Data, &want1)
+		for j := 0; j < gemmNR; j++ {
+			if math.Float32bits(got1[j]) != math.Float32bits(want1[j]) {
+				t.Fatalf("k=%d: kern1x8[%d] = %g, pure-Go %g", k, j, got1[j], want1[j])
+			}
+		}
+	}
+}

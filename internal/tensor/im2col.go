@@ -78,6 +78,89 @@ func (g ConvGeom) Im2Col(cols, img []float32) {
 	}
 }
 
+// PackColsPanel packs the im2col rows for output positions [p0, p0+pLen)
+// directly into panel in the gemmNR-sliver layout the fused convolution
+// microkernel consumes (convgemm.go): panel[(sv*K+kk)*gemmNR+r] holds the
+// kernel-element-kk value of output position p0 + sv*gemmNR + r, where
+// K = InC*KH*KW and kk enumerates (c, ky, kx) in Im2Col's order. Values
+// are exactly the Im2Col matrix entries, transposed into slivers — padding
+// contributes zeros and lanes past pLen are zero-filled — so the fused
+// path computes the same products as the materialized path (pinned by the
+// property and fuzz tests in im2col_pack_test.go).
+//
+// When scale is non-nil the packed value is sign(v)*scale[pos] with
+// sign(0) = +1 (so padding packs +scale[pos]), folding the binary branch's
+// input-scale-times-sign transform of Eq. (4) into the pack step; scale is
+// indexed by absolute output position.
+func (g ConvGeom) PackColsPanel(panel, img []float32, p0, pLen int, scale []float32) {
+	outW := g.OutW()
+	k := g.InC * g.KH * g.KW
+	planeSz := g.InH * g.InW
+	if len(img) != g.InC*planeSz {
+		panic(fmt.Sprintf("tensor: PackColsPanel img length %d, want %d", len(img), g.InC*planeSz))
+	}
+	ns := (pLen + gemmNR - 1) / gemmNR
+	if len(panel) < k*ns*gemmNR {
+		panic(fmt.Sprintf("tensor: PackColsPanel panel length %d, want >= %d", len(panel), k*ns*gemmNR))
+	}
+	for q := 0; q < ns*gemmNR; q++ {
+		sv, r := q/gemmNR, q%gemmNR
+		idx := sv*k*gemmNR + r
+		if q >= pLen {
+			for kk := 0; kk < k; kk++ {
+				panel[idx] = 0
+				idx += gemmNR
+			}
+			continue
+		}
+		pos := p0 + q
+		oy, ox := pos/outW, pos%outW
+		iy0 := oy*g.Stride - g.Pad
+		ix0 := ox*g.Stride - g.Pad
+		var sc float32
+		if scale != nil {
+			sc = scale[pos]
+		}
+		for c := 0; c < g.InC; c++ {
+			plane := img[c*planeSz : (c+1)*planeSz]
+			for ky := 0; ky < g.KH; ky++ {
+				iy := iy0 + ky
+				if iy < 0 || iy >= g.InH {
+					// Entire kernel row is padding: zeros, which under
+					// the sign convention binarize to +scale.
+					for kx := 0; kx < g.KW; kx++ {
+						if scale != nil {
+							panel[idx] = sc
+						} else {
+							panel[idx] = 0
+						}
+						idx += gemmNR
+					}
+					continue
+				}
+				rowBase := iy * g.InW
+				for kx := 0; kx < g.KW; kx++ {
+					ix := ix0 + kx
+					var v float32
+					if ix >= 0 && ix < g.InW {
+						v = plane[rowBase+ix]
+					}
+					if scale != nil {
+						if v < 0 {
+							panel[idx] = -sc
+						} else {
+							panel[idx] = sc
+						}
+					} else {
+						panel[idx] = v
+					}
+					idx += gemmNR
+				}
+			}
+		}
+	}
+}
+
 // Col2Im folds the column matrix back into image space, accumulating
 // overlapping contributions. It is the adjoint of Im2Col and is used in the
 // convolution backward pass. img must be zeroed by the caller when a fresh

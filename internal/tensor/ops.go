@@ -117,6 +117,30 @@ func MatMul(a, b *Tensor) *Tensor {
 // MatMulInto computes dst = a x b where dst is a preallocated m x n tensor.
 // dst must not alias a or b.
 //
+// Problems large enough that B no longer fits low cache levels dispatch to
+// the cache-blocked kernel (gemm.go); small problems keep the 4-wide
+// unrolled kernel, whose pack-free start-up is faster and whose results
+// are bit-for-bit what this function has always produced. Both kernels are
+// deterministic for any worker count; they differ from each other only by
+// float addition order (TestMatMulIntoDispatchAgreement bounds the drift).
+func MatMulInto(dst, a, b *Tensor) {
+	m, k := a.Shape[0], a.Shape[1]
+	n := b.Shape[1]
+	if b.Shape[0] != k || dst.Shape[0] != m || dst.Shape[1] != n {
+		panic(fmt.Sprintf("tensor: MatMulInto shape mismatch a=%v b=%v dst=%v", a.Shape, b.Shape, dst.Shape))
+	}
+	if m >= gemmMR && k > 1 && k*n >= blockedMinWork {
+		bufp := gemmPanelPool.Get().(*[]float32)
+		matMulBlocked(dst.Data, a.Data, b.Data, m, k, n, *bufp)
+		gemmPanelPool.Put(bufp)
+		return
+	}
+	MatMulUnrolledInto(dst, a, b)
+}
+
+// MatMulUnrolledInto is the pre-blocking GEMM kernel, kept as the
+// small-problem path and as the comparison baseline for the kernels bench.
+//
 // The kernel keeps the i-k-j loop order (inner loop walks contiguous rows
 // of B and C) but accumulates four B rows per sweep: one pass over C per
 // four values of A instead of one per value, which quarters the C-row
@@ -124,7 +148,7 @@ func MatMul(a, b *Tensor) *Tensor {
 // CPU could not predict on dense inputs. Accumulation order per output
 // element is fixed and chunking-free, so results are deterministic
 // run-to-run.
-func MatMulInto(dst, a, b *Tensor) {
+func MatMulUnrolledInto(dst, a, b *Tensor) {
 	m, k := a.Shape[0], a.Shape[1]
 	n := b.Shape[1]
 	if b.Shape[0] != k || dst.Shape[0] != m || dst.Shape[1] != n {
@@ -160,7 +184,10 @@ func MatMulInto(dst, a, b *Tensor) {
 
 // MatMulTransB computes C = A x B^T for A (m x k) and B (n x k), returning
 // an m x n tensor. This layout lets both inner loops run over contiguous
-// memory, which is the fast path for convolution backward passes.
+// memory, which is the fast path for convolution backward passes. The
+// register-tiled kernel (TransBRange) keeps the historical per-element
+// ascending-k dot product, so results are bitwise identical to the old
+// serial loop at any worker count.
 func MatMulTransB(a, b *Tensor) *Tensor {
 	m, k := a.Shape[0], a.Shape[1]
 	n, k2 := b.Shape[0], b.Shape[1]
@@ -168,19 +195,7 @@ func MatMulTransB(a, b *Tensor) *Tensor {
 		panic(fmt.Sprintf("tensor: MatMulTransB inner dimensions differ: %d vs %d", k, k2))
 	}
 	c := New(m, n)
-	ad, bd, cd := a.Data, b.Data, c.Data
-	for i := 0; i < m; i++ {
-		arow := ad[i*k : (i+1)*k]
-		crow := cd[i*n : (i+1)*n]
-		for j := 0; j < n; j++ {
-			brow := bd[j*k : (j+1)*k]
-			var s float32
-			for kk, av := range arow {
-				s += av * brow[kk]
-			}
-			crow[j] = s
-		}
-	}
+	MatMulTransBInto(c, a, b)
 	return c
 }
 
