@@ -35,6 +35,8 @@ func main() {
 		codec  = flag.String("codec", "raw", "preferred offload wire codec (raw, f16, q8..q2); negotiated with the server, falls back to raw")
 		noTel  = flag.Bool("no-telemetry", false, "omit the decision-telemetry block from offload frames (old-client wire format)")
 		pinTau = flag.Bool("pin-tau", false, "ignore tau updates pushed by the edge's controller, keeping the starting threshold for the whole session")
+		cache  = flag.Int("session-cache", 0, "session recognition cache capacity: identical offload payloads are answered locally from the last edge answer (0 disables)")
+		revaln = flag.Int("revalidate-every", 0, "offload every Nth recognition of a cached frame anyway to refresh its answer (0 never revalidates; needs -session-cache)")
 	)
 	flag.Parse()
 	if *ckpt == "" {
@@ -72,9 +74,17 @@ func main() {
 	}
 
 	ctx := context.Background()
-	c, err := webclient.New(*server,
+	copts := []webclient.Option{
 		webclient.WithTelemetry(!*noTel),
-		webclient.WithTauUpdates(!*pinTau))
+		webclient.WithTauUpdates(!*pinTau),
+	}
+	if *cache > 0 {
+		copts = append(copts, webclient.WithSessionCache(*cache))
+	}
+	if *revaln > 0 {
+		copts = append(copts, webclient.WithRevalidateEvery(*revaln))
+	}
+	c, err := webclient.New(*server, copts...)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "lcrs-client:", err)
 		os.Exit(1)
@@ -96,7 +106,7 @@ func main() {
 		fmt.Printf("offload codec: %s\n", chosen)
 	}
 
-	var exits, correct, agreeYes, agreeJudged int
+	var exits, hits, correct, agreeYes, agreeJudged int
 	var totalClient, totalEdge, totalNet, totalServer time.Duration
 	var totalPayload int
 	for i := 0; i < ds.Len(); i++ {
@@ -107,9 +117,13 @@ func main() {
 			os.Exit(1)
 		}
 		path := "edge"
-		if res.Exited {
+		switch {
+		case res.Exited:
 			path = "binary"
 			exits++
+		case res.CacheHit:
+			path = "cache"
+			hits++
 		}
 		if res.Pred == label {
 			correct++
@@ -156,6 +170,12 @@ func main() {
 	if agreeJudged > 0 {
 		fmt.Printf("binary-vs-main agreement: %d/%d offloads (%.0f%%)\n",
 			agreeYes, agreeJudged, float64(agreeYes)/float64(agreeJudged)*100)
+	}
+	// Session-cache hits avoided the wire entirely; the edge learns of
+	// them via the piggybacked telemetry count on the next real offload.
+	if *cache > 0 {
+		fmt.Printf("session cache: %d/%d recognitions answered locally (%.0f%%)\n",
+			hits, ds.Len(), float64(hits)/float64(ds.Len())*100)
 	}
 	// With a controller-enabled edge (lcrs-edge -tau-mode) the threshold
 	// drifts over the session as pushed updates arrive.

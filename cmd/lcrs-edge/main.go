@@ -57,6 +57,7 @@ func main() {
 	tauMode := flag.String("tau-mode", "", "enable the closed-loop tau controller driving this signal: exitrate, agreement or utilization (empty disables)")
 	tauTarget := flag.Float64("tau-target", 0.5, "controller set point for the -tau-mode signal, in (0,1)")
 	tauInit := flag.Float64("tau-init", -1, "controller starting threshold; negative (the default) adopts the first client-reported tau instead")
+	ansCache := flag.Int("answer-cache", 0, "content-addressed answer cache capacity per model: repeated offload payloads are answered without a replica checkout (0 disables)")
 	flag.Var(&mf, "model", "name=checkpoint.lcrs (repeatable)")
 	flag.Parse()
 	if len(mf) == 0 {
@@ -83,6 +84,9 @@ func main() {
 	if *batchMax > 1 {
 		opts = append(opts, edge.WithBatching(*batchMax, *batchWait))
 	}
+	if *ansCache > 0 {
+		opts = append(opts, edge.WithAnswerCache(*ansCache))
+	}
 	if *tauMode != "" {
 		cfg := exitpolicy.Config{
 			Mode:   exitpolicy.Mode(*tauMode),
@@ -105,6 +109,9 @@ func main() {
 	obs.RegisterProcessMetrics(srv.Metrics(), version)
 	if *batchMax > 1 {
 		fmt.Printf("micro-batching: up to %d requests per forward, %v wait\n", *batchMax, *batchWait)
+	}
+	if *ansCache > 0 {
+		fmt.Printf("answer cache: %d entries per model, invalidated on tau pushes\n", *ansCache)
 	}
 	if *tauMode != "" {
 		seed := "adopting the first client-reported tau"

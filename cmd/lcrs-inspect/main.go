@@ -89,15 +89,37 @@ func inspectRemote(base, view string) error {
 			fmt.Println("no models registered")
 			return nil
 		}
+		// The serving counters carry the answer-cache numbers; keyed by
+		// model name so the two views render side by side.
+		var serving []edge.ModelStats
+		if err := getJSON(base+"/v1/stats", &serving); err != nil {
+			return err
+		}
+		byName := make(map[string]edge.ModelStats, len(serving))
+		for _, ms := range serving {
+			byName[ms.Name] = ms
+		}
 		for _, es := range stats {
 			fmt.Printf("%s:\n", es.Name)
 			fmt.Printf("  decisions: %d local exits, %d offloaded samples (exit rate %.2f)\n",
 				es.LocalExits, es.OffloadedSamples, es.ExitRate)
+			if es.ClientCacheHits > 0 {
+				fmt.Printf("  client cache: %d hits reported via telemetry (never offloaded)\n", es.ClientCacheHits)
+			}
 			fmt.Printf("  telemetry: %d requests, agreement %d/%d (rate %.2f)\n",
 				es.TelemetryRequests, es.Agree, es.Agree+es.Disagree, es.AgreeRate)
 			fmt.Printf("  entropy: n=%d mean %.3f p50 %.3f p90 %.3f p99 %.3f\n",
 				es.EntropyCount, es.EntropyMean, es.EntropyP50, es.EntropyP90, es.EntropyP99)
 			fmt.Printf("  tau margin: p50 %.3f p90 %.3f\n", es.TauMarginP50, es.TauMarginP90)
+			if ms, ok := byName[es.Name]; ok && ms.CacheHits+ms.CacheMisses > 0 {
+				fmt.Printf("  answer cache: %d hits / %d misses (hit rate %.2f), %d evictions",
+					ms.CacheHits, ms.CacheMisses,
+					float64(ms.CacheHits)/float64(ms.CacheHits+ms.CacheMisses), ms.CacheEvictions)
+				if ms.CacheHits > 0 {
+					fmt.Printf(", hit p50 %dus p99 %dus", ms.CacheHitP50Micros, ms.CacheHitP99Micros)
+				}
+				fmt.Println()
+			}
 		}
 	case "journal":
 		var entries []edge.JournalEntry

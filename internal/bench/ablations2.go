@@ -23,6 +23,7 @@ func moreAblations() []Experiment {
 		{ID: "exitdrift", Title: "Exit-rate and entropy drift under class-skewed replay (live edge telemetry)", Run: (*Runner).ExitDrift},
 		{ID: "exitloop", Title: "Closed-loop tau control recovering the exit rate under class skew", Run: (*Runner).ExitLoop},
 		{ID: "kernels", Title: "Blocked+fused GEMM throughput vs unrolled baseline; replica allocs/op", Run: (*Runner).Kernels},
+		{ID: "streaming", Title: "Streaming AR sessions: offloads saved by the session and edge answer caches", Run: (*Runner).Streaming},
 	}
 }
 

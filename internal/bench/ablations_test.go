@@ -12,7 +12,7 @@ func TestAblationRegistry(t *testing.T) {
 		"ablation-links", "offload-bytes",
 		"ablation-concurrency", "ablation-energy", "ablation-bits",
 		"throughput", "batching", "stages", "exitdrift", "exitloop",
-		"kernels",
+		"kernels", "streaming",
 	}
 	got := Ablations()
 	if len(got) != len(want) {

@@ -1,0 +1,214 @@
+package bench
+
+import (
+	"context"
+	"fmt"
+	"net/http/httptest"
+	"sort"
+	"time"
+
+	"lcrs/internal/dataset"
+	"lcrs/internal/edge"
+	"lcrs/internal/webclient"
+)
+
+// Streaming measures the frame-hash recognition caches (DESIGN.md §14)
+// under the workload they exist for: an AR session holding a camera on a
+// trained target. dataset.GenerateStream renders seeded hold-and-drift
+// sequences — frames within a hold are bit-identical, poses recur within a
+// bounded jitter box — and three clients replay each sequence against a
+// live edge:
+//
+//   - cache-off: every frame offloads (tau=0), the pre-PR baseline;
+//   - cache-on: webclient.WithSessionCache dedupes identical payloads
+//     on-device, so only genuinely new poses reach the wire;
+//   - a second cache-on scanner of the *same* target, whose offloads all
+//     land in the edge's content-addressed answer cache
+//     (edge.WithAnswerCache) and are answered without a replica checkout.
+//
+// The sweep varies jitter amplitude: more camera wander means more
+// distinct poses per stream, shrinking what any cache can save. The
+// contract at the smallest amplitude is enforced as hard errors — the
+// session cache must cut offloads at least 5x while accuracy stays within
+// 0.5pp of the cache-off baseline, and the second scanner's offloads must
+// all hit the edge answer cache — so CI regresses the caching path on
+// real traffic, not unit fixtures.
+func (r *Runner) Streaming() error {
+	arch, ds := "lenet", "mnist"
+	frames, classes := 120, 3
+	amps := []int{0, 1, 2, 4}
+	if r.Cfg.Quick {
+		frames = 72
+		amps = []int{0, 2}
+	}
+	tm, err := r.train(arch, ds)
+	if err != nil {
+		return err
+	}
+	spec, err := dataset.SpecByName(ds)
+	if err != nil {
+		return err
+	}
+
+	const holdMin, holdMax = 6, 10
+	r.printf("Streaming AR sessions: session cache + edge answer cache (%s/%s, %d streams x %d frames, hold %d-%d, q8)\n",
+		arch, ds, classes, frames, holdMin, holdMax)
+	header := []string{"Amp", "Offloads off>on", "Reduction", "Bytes saved", "Acc off", "Acc on", "p50 off>on", "Edge hit/miss"}
+	var rows [][]string
+
+	type contract struct {
+		reduction, accOff, accOn float64
+		edgeHits, scanBOffloads  int64
+	}
+	var low contract
+	for ai, amp := range amps {
+		streams := make([]*dataset.Dataset, classes)
+		for class := 0; class < classes; class++ {
+			streams[class], err = dataset.GenerateStream(dataset.StreamSpec{
+				Base: spec, Frames: frames,
+				HoldMin: holdMin, HoldMax: holdMax,
+				Amplitude: amp, Brightness: 3, Noise: 0.05,
+			}, class, r.Cfg.Seed, r.Cfg.Seed+int64(100*amp+class))
+			if err != nil {
+				return err
+			}
+		}
+
+		// A fresh edge per amplitude keeps the answer-cache counters
+		// attributable to this row's traffic.
+		s, err := edge.New(edge.WithAnswerCache(256))
+		if err != nil {
+			return err
+		}
+		if err := s.Register(arch, tm.model); err != nil {
+			s.Close()
+			return err
+		}
+		srv := httptest.NewServer(s.Handler())
+
+		off, err := replayStreams(srv, tm, streams)
+		if err == nil {
+			var onA sessionStats
+			onA, err = replayStreams(srv, tm, streams, webclient.WithSessionCache(64))
+			if err == nil {
+				var onB sessionStats
+				// The second scanner: a fresh session cache, the same
+				// target — its misses are re-sends of payloads the edge
+				// has already answered.
+				onB, err = replayStreams(srv, tm, streams, webclient.WithSessionCache(64))
+				if err == nil {
+					stats := s.Stats()[0]
+					reduction := float64(off.offloads) / float64(onA.offloads)
+					if ai == 0 {
+						low = contract{
+							reduction: reduction,
+							accOff:    off.accuracy(), accOn: onA.accuracy(),
+							edgeHits: stats.CacheHits, scanBOffloads: onB.offloads,
+						}
+					}
+					rows = append(rows, []string{
+						fmt.Sprint(amp),
+						fmt.Sprintf("%d>%d", off.offloads, onA.offloads),
+						fmt.Sprintf("%.1fx", reduction),
+						fmt.Sprintf("%.0f%%", 100*(1-float64(onA.bytes)/float64(off.bytes))),
+						fmt.Sprintf("%.3f", off.accuracy()),
+						fmt.Sprintf("%.3f", onA.accuracy()),
+						fmt.Sprintf("%s>%s", shortDur(off.p50()), shortDur(onA.p50())),
+						fmt.Sprintf("%d/%d", stats.CacheHits, stats.CacheMisses),
+					})
+				}
+			}
+		}
+		srv.Close()
+		s.Close()
+		if err != nil {
+			return err
+		}
+	}
+	r.table(header, rows)
+	r.printf("low-jitter contract: %.1fx offload reduction (floor 5x), accuracy %.3f vs %.3f cache-off (band 0.5pp), second scanner %d/%d offloads absorbed by the edge answer cache\n",
+		low.reduction, low.accOn, low.accOff, low.edgeHits, low.scanBOffloads)
+
+	// The acceptance contract, enforced.
+	if low.reduction < 5 {
+		return fmt.Errorf("bench: session cache cut offloads only %.1fx at amplitude %d, need >= 5x", low.reduction, amps[0])
+	}
+	if d := low.accOn - low.accOff; d < -0.005 || d > 0.005 {
+		return fmt.Errorf("bench: cached accuracy %.3f drifted %.4f from the cache-off baseline %.3f (band 0.005)",
+			low.accOn, d, low.accOff)
+	}
+	if low.edgeHits < low.scanBOffloads {
+		return fmt.Errorf("bench: edge answer cache absorbed %d of the second scanner's %d offloads",
+			low.edgeHits, low.scanBOffloads)
+	}
+	return nil
+}
+
+// sessionStats aggregates one client's replay of a set of streams.
+type sessionStats struct {
+	offloads, hits int64
+	bytes          int64
+	correct, total int
+	lat            []time.Duration
+}
+
+func (s sessionStats) accuracy() float64 { return float64(s.correct) / float64(s.total) }
+
+func (s sessionStats) p50() time.Duration {
+	lat := append([]time.Duration(nil), s.lat...)
+	sort.Slice(lat, func(i, j int) bool { return lat[i] < lat[j] })
+	return lat[len(lat)/2]
+}
+
+// replayStreams drives a fresh client (fresh session cache) through every
+// stream frame-by-frame, in order — the temporal locality is the point.
+// tau is 0 so no frame exits locally: every recognition either offloads
+// or hits a cache, which makes offload counts directly comparable.
+func replayStreams(srv *httptest.Server, tm *trainedModel, streams []*dataset.Dataset, opts ...webclient.Option) (sessionStats, error) {
+	ctx := context.Background()
+	opts = append([]webclient.Option{
+		webclient.WithHTTPClient(srv.Client()),
+		webclient.WithCodec("q8"),
+	}, opts...)
+	c, err := webclient.New(srv.URL, opts...)
+	if err != nil {
+		return sessionStats{}, err
+	}
+	if err := c.LoadModel(ctx, "lenet", "lenet", tm.model.Cfg, 0); err != nil {
+		return sessionStats{}, err
+	}
+	var st sessionStats
+	for _, stream := range streams {
+		for i := 0; i < stream.Len(); i++ {
+			x, y := stream.Sample(i)
+			start := time.Now()
+			res, err := c.Recognize(ctx, x)
+			if err != nil {
+				return st, err
+			}
+			st.lat = append(st.lat, time.Since(start))
+			if res.CacheHit {
+				st.hits++
+			} else {
+				st.offloads++
+			}
+			st.bytes += int64(res.PayloadBytes)
+			if res.Pred == y {
+				st.correct++
+			}
+			st.total++
+		}
+	}
+	return st, nil
+}
+
+// shortDur renders a latency with two significant figures, enough for a
+// table cell.
+func shortDur(d time.Duration) string {
+	switch {
+	case d < time.Millisecond:
+		return fmt.Sprintf("%dus", d.Microseconds())
+	default:
+		return fmt.Sprintf("%.1fms", float64(d.Microseconds())/1e3)
+	}
+}

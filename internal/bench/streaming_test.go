@@ -1,0 +1,25 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestStreamingQuick runs the streaming cache experiment end to end in
+// quick mode. The experiment enforces its own acceptance contract (>=5x
+// offload reduction within 0.5pp accuracy at low jitter, second scanner
+// fully absorbed by the edge answer cache) as hard errors, so a clean
+// return is the regression check; the output assertions just pin the
+// report shape.
+func TestStreamingQuick(t *testing.T) {
+	r := quickRunner()
+	if err := r.Streaming(); err != nil {
+		t.Fatal(err)
+	}
+	out := output(r)
+	for _, want := range []string{"Reduction", "Edge hit/miss", "low-jitter contract"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("missing %q in streaming output:\n%s", want, out)
+		}
+	}
+}

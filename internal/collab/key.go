@@ -1,0 +1,129 @@
+package collab
+
+import (
+	"fmt"
+	"io"
+	"math/bits"
+
+	"lcrs/internal/tensor"
+)
+
+// Canonical frame keys for the streaming recognition cache (DESIGN.md §14).
+//
+// The paper's workload is a camera held on a logo: consecutive frames are
+// near-identical, and after k-bit quantization they are frequently
+// *bit-identical* — the q-codecs snap each channel group onto a coarse
+// symmetric grid, absorbing sub-quantum sensor noise. A content hash of the
+// encoded payload therefore identifies "the same frame" across requests,
+// across clients, and across both ends of the offload path: the client
+// hashes what it is about to send, the edge hashes what it received, and
+// the two keys agree byte-for-byte because they cover the same material.
+//
+// A key covers exactly (codec ID byte ‖ payload bytes) — nothing else:
+//
+//   - not the frame magic or telemetry block, which vary per request while
+//     the activation stays the same (v3 entropy/exit counts differ between
+//     two offloads of one frame; they must not defeat the cache);
+//   - not the shape dims, because caches are per-model and the edge
+//     validates shape before any cache lookup, so two equal payloads with
+//     different claimed shapes can never alias inside one cache;
+//   - the codec ID byte, because two codecs can emit identical payload
+//     bytes for different tensors (a q4 and a q8 frame share no
+//     interpretation), so keys are only comparable within one encoding.
+//
+// The hash is 128-bit FNV-1a: fast, allocation-free, byte-order stable,
+// and wide enough that accidental collisions are out of reach for any
+// realistic cache population (a session cache holds tens of entries, an
+// edge cache thousands). It is not cryptographic — a client hostile enough
+// to craft collisions can already poison only its own session cache, and
+// the edge cache keys on full payload content a forger would have to send
+// anyway.
+
+// Key is a 128-bit content hash of an encoded offload payload. The zero
+// Key is never produced by hashing (FNV-1a's offset basis is nonzero and
+// every update multiplies by an odd prime), so it can serve as a sentinel.
+type Key struct {
+	Hi, Lo uint64
+}
+
+// IsZero reports whether k is the sentinel zero key.
+func (k Key) IsZero() bool { return k.Hi == 0 && k.Lo == 0 }
+
+// String renders the key as 32 hex digits for logs and debugging.
+func (k Key) String() string { return fmt.Sprintf("%016x%016x", k.Hi, k.Lo) }
+
+// FNV-1a 128-bit parameters (the standard offset basis and prime
+// 2^88 + 2^8 + 0x3b). The prime's limbs: high = 2^24, low = 0x13b.
+const (
+	fnvOffsetHi = 0x6c62272e07bb0142
+	fnvOffsetLo = 0x62b821756295c58d
+	fnvPrimeLo  = 0x13b
+	fnvPrimeSh  = 24 // high limb of the prime is 1 << fnvPrimeSh
+)
+
+// keyHasher is an io.Writer that folds bytes into a running 128-bit
+// FNV-1a state. Writing never fails, so codec encoders can stream into it.
+type keyHasher struct {
+	hi, lo uint64
+}
+
+func newKeyHasher(id CodecID) keyHasher {
+	h := keyHasher{hi: fnvOffsetHi, lo: fnvOffsetLo}
+	h.update(byte(id))
+	return h
+}
+
+// update folds one byte: XOR into the low limb, multiply by the prime.
+// The 128x128 multiply reduces to three terms because the prime is
+// 2^88 + 0x13b: lo*0x13b (with carry into hi), hi*0x13b, and lo<<24.
+func (h *keyHasher) update(b byte) {
+	lo := h.lo ^ uint64(b)
+	carry, mlo := bits.Mul64(lo, fnvPrimeLo)
+	h.hi = carry + h.hi*fnvPrimeLo + lo<<fnvPrimeSh
+	h.lo = mlo
+}
+
+func (h *keyHasher) Write(p []byte) (int, error) {
+	for _, b := range p {
+		h.update(b)
+	}
+	return len(p), nil
+}
+
+func (h *keyHasher) key() Key { return Key{Hi: h.hi, Lo: h.lo} }
+
+// FrameKey returns the canonical cache key of an encoded payload under the
+// given codec. It is pure byte-folding: any payload — truncated, oversized,
+// hostile — produces a key without panicking; whether the bytes decode to
+// a valid tensor is a separate question the frame reader answers.
+func FrameKey(id CodecID, payload []byte) Key {
+	h := newKeyHasher(id)
+	h.Write(payload)
+	return h.key()
+}
+
+// TensorKey returns the key t's payload would have under codec c, without
+// materializing the encoded payload: the codec streams its encoding into
+// the hasher. By construction TensorKey(c, t) == FrameKey(c.ID(), p) for
+// the payload bytes p that WriteTensorCodec would emit — the property the
+// client relies on to predict the key the edge will compute. A nil codec
+// means raw.
+func TensorKey(c Codec, t *tensor.Tensor) (Key, error) {
+	if c == nil {
+		c = Raw
+	}
+	h := newKeyHasher(c.ID())
+	if err := c.encodePayload(&h, t); err != nil {
+		return Key{}, fmt.Errorf("collab: key encode: %w", err)
+	}
+	return h.key(), nil
+}
+
+// ReadFrameTelemetryKeyed decodes one frame like ReadFrameTelemetry and
+// additionally reports the canonical content key of the payload bytes as
+// they arrived on the wire. The key matches what the sending client
+// computed with TensorKey because both cover (codec ID ‖ payload bytes).
+// On any decode error the key is the zero sentinel.
+func ReadFrameTelemetryKeyed(r io.Reader) (*tensor.Tensor, CodecID, *Telemetry, Key, error) {
+	return readFrameTelemetry(r, true)
+}

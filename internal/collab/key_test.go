@@ -1,0 +1,152 @@
+package collab
+
+import (
+	"bytes"
+	"testing"
+
+	"lcrs/internal/tensor"
+)
+
+// TestFrameKeyProperty pins the canonical-key contract the streaming cache
+// is built on: equal tensors under the same codec always produce equal
+// keys, the streamed TensorKey equals FrameKey over the materialized
+// payload, and the key an edge computes while decoding the wire frame
+// matches the key the client predicted before sending.
+func TestFrameKeyProperty(t *testing.T) {
+	g := tensor.NewRNG(7)
+	shapes := [][]int{{1, 6, 13, 13}, {3, 28, 28}, {2, 4, 5, 5}}
+	for _, c := range Codecs() {
+		for _, shape := range shapes {
+			a := g.Uniform(-1, 1, shape...)
+			b := tensor.FromSlice(append([]float32(nil), a.Data...), shape...)
+
+			ka, err := TensorKey(c, a)
+			if err != nil {
+				t.Fatalf("%s %v: TensorKey: %v", c.Name(), shape, err)
+			}
+			kb, err := TensorKey(c, b)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if ka != kb {
+				t.Fatalf("%s %v: equal tensors produced keys %v != %v", c.Name(), shape, ka, kb)
+			}
+			if ka.IsZero() {
+				t.Fatalf("%s %v: hashing produced the zero sentinel", c.Name(), shape)
+			}
+
+			// TensorKey must equal FrameKey over the payload bytes a real
+			// frame carries — strip the header WriteTensorCodec writes.
+			var frame bytes.Buffer
+			if err := WriteTensorCodec(&frame, a, c); err != nil {
+				t.Fatal(err)
+			}
+			headerLen := int(FrameBytesFor(shape, c) - c.PayloadBytes(shape))
+			payload := frame.Bytes()[headerLen:]
+			if got := FrameKey(c.ID(), payload); got != ka {
+				t.Fatalf("%s %v: FrameKey(payload) = %v, TensorKey = %v", c.Name(), shape, got, ka)
+			}
+
+			// The receiving end computes the same key from the wire bytes.
+			dec, id, _, kr, err := ReadFrameTelemetryKeyed(bytes.NewReader(frame.Bytes()))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if id != c.ID() || kr != ka {
+				t.Fatalf("%s %v: keyed read reports codec 0x%02x key %v, want 0x%02x %v",
+					c.Name(), shape, uint8(id), kr, uint8(c.ID()), ka)
+			}
+			if dec.Len() != a.Len() {
+				t.Fatalf("%s %v: keyed decode dropped elements", c.Name(), shape)
+			}
+
+			// A one-element perturbation big enough to move the quantized
+			// grid must change the key (content addressing, not identity).
+			p := tensor.FromSlice(append([]float32(nil), a.Data...), shape...)
+			p.Data[0] += 2
+			kp, err := TensorKey(c, p)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if kp == ka {
+				t.Fatalf("%s %v: perturbed tensor collided", c.Name(), shape)
+			}
+		}
+	}
+}
+
+// Two codecs over the same tensor must key differently even when their
+// payload bytes could coincide: the codec ID is folded into the hash.
+func TestFrameKeyCodecSeparation(t *testing.T) {
+	payload := []byte{0, 1, 2, 3}
+	if FrameKey(CodecRaw, payload) == FrameKey(CodecF16, payload) {
+		t.Fatal("identical payloads under different codecs must not collide")
+	}
+	if FrameKey(CodecRaw, nil) != FrameKey(CodecRaw, []byte{}) {
+		t.Fatal("nil and empty payloads are the same content")
+	}
+}
+
+// TestTensorKeyMatchesTelemetryFrame covers the production wire path: the
+// key computed before sending a v3/v4 telemetry frame matches the keyed
+// read of that frame — telemetry varies per request but never perturbs the
+// key.
+func TestTensorKeyMatchesTelemetryFrame(t *testing.T) {
+	g := tensor.NewRNG(11)
+	a := g.Uniform(-1, 1, 6, 13, 13)
+	want, err := TensorKey(Q8, a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tel := range []*Telemetry{
+		{Entropy: 0.5, Tau: 0.3, BinaryPred: 2, LocalExits: 7},
+		{Entropy: 0.9, Tau: 0.8, BinaryPred: 1, LocalExits: 0, CacheHits: 12},
+	} {
+		var frame bytes.Buffer
+		if err := WriteTensorTelemetry(&frame, a, Q8, tel); err != nil {
+			t.Fatal(err)
+		}
+		_, _, gotTel, key, err := ReadFrameTelemetryKeyed(&frame)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if key != want {
+			t.Fatalf("telemetry %+v changed the key: %v != %v", tel, key, want)
+		}
+		if gotTel == nil || gotTel.LocalExits != tel.LocalExits || gotTel.CacheHits != tel.CacheHits {
+			t.Fatalf("telemetry round trip: sent %+v, got %+v", tel, gotTel)
+		}
+	}
+}
+
+// FuzzFrameKey feeds hostile (truncated, oversized, garbage) payloads and
+// codec tags through the key path: FrameKey must never panic and must be a
+// pure function of its inputs, and the keyed frame reader must never panic
+// on the same bytes reinterpreted as a wire frame.
+func FuzzFrameKey(f *testing.F) {
+	f.Add(uint8(0), []byte{})
+	f.Add(uint8(0x18), []byte{1, 2, 3})
+	f.Add(uint8(0xff), bytes.Repeat([]byte{0xaa}, 300))
+	var zero bytes.Buffer
+	g := tensor.NewRNG(3)
+	if err := WriteTensorCodec(&zero, g.Uniform(-1, 1, 2, 3, 3), Q8); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(uint8(0x18), zero.Bytes())
+	f.Fuzz(func(t *testing.T, id uint8, payload []byte) {
+		k1 := FrameKey(CodecID(id), payload)
+		k2 := FrameKey(CodecID(id), payload)
+		if k1 != k2 {
+			t.Fatalf("FrameKey not deterministic: %v != %v", k1, k2)
+		}
+		if k1.IsZero() {
+			t.Fatal("FNV-1a state reached the zero sentinel")
+		}
+		// Hostile bytes as a whole wire frame: the keyed reader may reject
+		// them, but must not panic, and on success the key must match a
+		// direct hash of whatever payload bytes the frame carried.
+		_, _, _, _, _ = func() (a *tensor.Tensor, b CodecID, c *Telemetry, d Key, e error) {
+			return ReadFrameTelemetryKeyed(bytes.NewReader(payload))
+		}()
+	})
+}

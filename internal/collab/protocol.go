@@ -33,6 +33,7 @@ const (
 	frameMagic   = uint32(0x4C435446) // "LCTF", v1
 	frameMagicV2 = uint32(0x4C435632) // "LCV2", codec-tagged
 	frameMagicV3 = uint32(0x4C435633) // "LCV3", codec-tagged + telemetry
+	frameMagicV4 = uint32(0x4C435634) // "LCV4", v3 + cache-hit count
 	maxRank      = 8
 	maxElems     = 64 << 20 // 256 MB of float32 — far above any real tensor
 )
@@ -77,21 +78,33 @@ type Telemetry struct {
 	// LocalExits is the number of samples the client answered locally
 	// since its previous offload (flushed with this frame).
 	LocalExits int
+	// CacheHits is the number of samples the client answered from its
+	// session recognition cache since its previous offload (flushed with
+	// this frame, like LocalExits). A zero count keeps the frame at v3 so
+	// cache-less clients stay byte-identical to the PR 5 protocol; a
+	// positive count upgrades the frame to v4, which carries one extra
+	// telemetry word.
+	CacheHits int
 }
 
 // telemetryWords is the fixed v3 telemetry block size in uint32 words:
-// entropy bits, tau bits, binary pred, local exits.
-const telemetryWords = 4
+// entropy bits, tau bits, binary pred, local exits. A v4 frame appends a
+// fifth word for the cache-hit count.
+const (
+	telemetryWords   = 4
+	telemetryWordsV4 = 5
+)
 
-// TelemetryWireBytes is the encoded telemetry block size — what a v3
-// frame adds over a v2 frame of the same tensor, for cost accounting.
+// TelemetryWireBytes is the encoded v3 telemetry block size — what a v3
+// frame adds over a v2 frame of the same tensor, for cost accounting. A
+// v4 frame (CacheHits > 0) carries 4 more bytes.
 const TelemetryWireBytes = 4 * telemetryWords
 
 // validTelemetry bounds the fields a hostile or buggy peer could abuse:
 // entropies and thresholds must be finite and inside [0,1] (a hair of
 // float32 slack is clamped by the caller), predictions must fit an int32
 // class index, and one frame cannot claim an absurd local-exit backlog.
-func validTelemetry(entropy, tau float64, pred, exits int) error {
+func validTelemetry(entropy, tau float64, pred, exits, hits int) error {
 	if math.IsNaN(entropy) || entropy < 0 || entropy > 1 {
 		return fmt.Errorf("collab: telemetry entropy %v out of [0,1]", entropy)
 	}
@@ -104,12 +117,19 @@ func validTelemetry(entropy, tau float64, pred, exits int) error {
 	if exits < 0 || exits > MaxLocalExits {
 		return fmt.Errorf("collab: telemetry local exits %d out of range", exits)
 	}
+	if hits < 0 || hits > MaxCacheHits {
+		return fmt.Errorf("collab: telemetry cache hits %d out of range", hits)
+	}
 	return nil
 }
 
 // MaxLocalExits caps the exit backlog one frame may flush, so a single
 // hostile frame cannot inflate the edge's exit counters without bound.
 const MaxLocalExits = 1 << 20
+
+// MaxCacheHits caps the session-cache hit backlog one v4 frame may flush,
+// the same bound (and for the same reason) as MaxLocalExits.
+const MaxCacheHits = 1 << 20
 
 // unitSlack is the round-off tolerance above 1 the writer folds back into
 // the unit interval: normalized entropy is computed as h/log|C| and can
@@ -141,8 +161,10 @@ func WriteTensorCodec(w io.Writer, t *tensor.Tensor, c Codec) error {
 }
 
 // WriteTensorTelemetry encodes t on w with the given codec and, when tel is
-// non-nil, a v3 decision-telemetry block. A nil tel preserves the exact
-// v1/v2 bytes older peers expect.
+// non-nil, a decision-telemetry block: a v3 frame normally, upgraded to v4
+// only when tel.CacheHits is positive, so cache-less traffic stays
+// byte-identical to the PR 5 protocol. A nil tel preserves the exact v1/v2
+// bytes older peers expect.
 func WriteTensorTelemetry(w io.Writer, t *tensor.Tensor, c Codec, tel *Telemetry) error {
 	if c == nil {
 		c = Raw
@@ -158,11 +180,11 @@ func WriteTensorTelemetry(w io.Writer, t *tensor.Tensor, c Codec, tel *Telemetry
 		if !okE || !okT {
 			return fmt.Errorf("collab: telemetry entropy %v / tau %v out of [0,1]", tel.Entropy, tel.Tau)
 		}
-		if err := validTelemetry(entropy, tau, tel.BinaryPred, tel.LocalExits); err != nil {
+		if err := validTelemetry(entropy, tau, tel.BinaryPred, tel.LocalExits, tel.CacheHits); err != nil {
 			return err
 		}
 	}
-	var hdr [16 + 4*telemetryWords + 4*maxRank]byte
+	var hdr [16 + 4*telemetryWordsV4 + 4*maxRank]byte
 	n := 0
 	put := func(v uint32) {
 		binary.LittleEndian.PutUint32(hdr[n:], v)
@@ -170,12 +192,19 @@ func WriteTensorTelemetry(w io.Writer, t *tensor.Tensor, c Codec, tel *Telemetry
 	}
 	switch {
 	case tel != nil:
-		put(frameMagicV3)
+		if tel.CacheHits > 0 {
+			put(frameMagicV4)
+		} else {
+			put(frameMagicV3)
+		}
 		put(uint32(c.ID()))
 		put(math.Float32bits(float32(entropy)))
 		put(math.Float32bits(float32(tau)))
 		put(uint32(tel.BinaryPred))
 		put(uint32(tel.LocalExits))
+		if tel.CacheHits > 0 {
+			put(uint32(tel.CacheHits))
+		}
 	case c.ID() == CodecRaw:
 		put(frameMagic)
 	default:
@@ -212,12 +241,20 @@ func ReadFrame(r io.Reader) (*tensor.Tensor, CodecID, error) {
 }
 
 // ReadFrameTelemetry decodes one frame from r, reporting the codec that
-// carried it and the decision-telemetry block when the frame was v3 (nil
-// for v1/v2 frames from older clients). It rejects malformed and
+// carried it and the decision-telemetry block when the frame was v3 or v4
+// (nil for v1/v2 frames from older clients). It rejects malformed and
 // implausibly large frames, and grows buffers only as payload bytes
 // actually arrive, so a broken or malicious peer cannot trigger huge
 // allocations with a header that promises more data than it sends.
 func ReadFrameTelemetry(r io.Reader) (*tensor.Tensor, CodecID, *Telemetry, error) {
+	t, id, tel, _, err := readFrameTelemetry(r, false)
+	return t, id, tel, err
+}
+
+// readFrameTelemetry is the shared frame decoder. With keyed set, the
+// payload bytes (as received, before any dequantization) are folded into a
+// canonical content key alongside the decode (see key.go).
+func readFrameTelemetry(r io.Reader, keyed bool) (*tensor.Tensor, CodecID, *Telemetry, Key, error) {
 	var u32 [4]byte
 	readU32 := func(what string) (uint32, error) {
 		if _, err := io.ReadFull(r, u32[:]); err != nil {
@@ -238,7 +275,7 @@ func ReadFrameTelemetry(r io.Reader) (*tensor.Tensor, CodecID, *Telemetry, error
 
 	magic, err := readU32("magic")
 	if err != nil {
-		return nil, 0, nil, err
+		return nil, 0, nil, Key{}, err
 	}
 	codec := Raw
 	var tel *Telemetry
@@ -246,18 +283,23 @@ func ReadFrameTelemetry(r io.Reader) (*tensor.Tensor, CodecID, *Telemetry, error
 	case frameMagic:
 	case frameMagicV2:
 		if codec, err = readCodec(); err != nil {
-			return nil, 0, nil, err
+			return nil, 0, nil, Key{}, err
 		}
-	case frameMagicV3:
+	case frameMagicV3, frameMagicV4:
 		if codec, err = readCodec(); err != nil {
-			return nil, 0, nil, err
+			return nil, 0, nil, Key{}, err
 		}
-		var words [telemetryWords]uint32
-		for i, what := range [telemetryWords]string{
+		words := make([]uint32, telemetryWords, telemetryWordsV4)
+		names := []string{
 			"telemetry entropy", "telemetry tau", "telemetry pred", "telemetry exits",
-		} {
+		}
+		if magic == frameMagicV4 {
+			words = words[:telemetryWordsV4]
+			names = append(names, "telemetry cache hits")
+		}
+		for i, what := range names {
 			if words[i], err = readU32(what); err != nil {
-				return nil, 0, nil, err
+				return nil, 0, nil, Key{}, err
 			}
 		}
 		tel = &Telemetry{
@@ -266,41 +308,53 @@ func ReadFrameTelemetry(r io.Reader) (*tensor.Tensor, CodecID, *Telemetry, error
 			BinaryPred: int(words[2]),
 			LocalExits: int(words[3]),
 		}
-		if err := validTelemetry(tel.Entropy, tel.Tau, tel.BinaryPred, tel.LocalExits); err != nil {
-			return nil, 0, nil, err
+		if magic == frameMagicV4 {
+			tel.CacheHits = int(words[4])
+		}
+		if err := validTelemetry(tel.Entropy, tel.Tau, tel.BinaryPred, tel.LocalExits, tel.CacheHits); err != nil {
+			return nil, 0, nil, Key{}, err
 		}
 	default:
-		return nil, 0, nil, fmt.Errorf("collab: bad frame magic 0x%08x", magic)
+		return nil, 0, nil, Key{}, fmt.Errorf("collab: bad frame magic 0x%08x", magic)
 	}
 
 	rank, err := readU32("rank")
 	if err != nil {
-		return nil, 0, nil, err
+		return nil, 0, nil, Key{}, err
 	}
 	if rank == 0 || rank > maxRank {
-		return nil, 0, nil, fmt.Errorf("collab: frame rank %d out of range", rank)
+		return nil, 0, nil, Key{}, fmt.Errorf("collab: frame rank %d out of range", rank)
 	}
 	shape := make([]int, rank)
 	elems := 1
 	for i := range shape {
 		d, err := readU32("dims")
 		if err != nil {
-			return nil, 0, nil, err
+			return nil, 0, nil, Key{}, err
 		}
 		if d == 0 {
-			return nil, 0, nil, fmt.Errorf("collab: zero dimension in frame")
+			return nil, 0, nil, Key{}, fmt.Errorf("collab: zero dimension in frame")
 		}
 		shape[i] = int(d)
 		elems *= int(d)
 		if elems > maxElems {
-			return nil, 0, nil, fmt.Errorf("collab: frame of %d elements exceeds limit", elems)
+			return nil, 0, nil, Key{}, fmt.Errorf("collab: frame of %d elements exceeds limit", elems)
 		}
 	}
-	t, err := codec.decodePayload(r, shape)
-	if err != nil {
-		return nil, 0, nil, fmt.Errorf("collab: read frame payload (%s): %w", codec.Name(), err)
+	payload := r
+	var hasher keyHasher
+	if keyed {
+		// Tee the payload bytes as received into the hasher: the key covers
+		// codec ID + wire payload, exactly what the sender's TensorKey
+		// hashed, so the two ends agree without a second encode.
+		hasher = newKeyHasher(codec.ID())
+		payload = io.TeeReader(r, &hasher)
 	}
-	return t, codec.ID(), tel, nil
+	t, err := codec.decodePayload(payload, shape)
+	if err != nil {
+		return nil, 0, nil, Key{}, fmt.Errorf("collab: read frame payload (%s): %w", codec.Name(), err)
+	}
+	return t, codec.ID(), tel, hasher.key(), nil
 }
 
 // firstAlloc caps an initial buffer capacity at one payload chunk, the

@@ -1,0 +1,128 @@
+package dataset
+
+import (
+	"fmt"
+
+	"lcrs/internal/tensor"
+)
+
+// StreamSpec describes a simulated streaming AR session: a camera held on
+// one target of a base dataset, producing a sequence of frames with
+// temporal locality. The camera sits in one pose (translation, brightness,
+// noise realization) for a short hold, then drifts — so consecutive
+// frames within a hold are bit-identical, the regime the session
+// recognition cache exploits, while pose changes produce genuinely new
+// frames. Amplitude controls how far the camera wanders (and therefore
+// how many distinct frames a stream contains); Brightness quantizes the
+// illumination into discrete levels so lighting changes are also
+// revisitable.
+type StreamSpec struct {
+	// Base is the dataset whose prototypes define the target being held.
+	Base Spec
+	// Frames is the length of the generated stream.
+	Frames int
+	// HoldMin/HoldMax bound how many consecutive frames one pose is held
+	// (uniformly drawn per pose). HoldMin must be >= 1.
+	HoldMin, HoldMax int
+	// Amplitude is the camera translation bound in pixels: the pose walk
+	// is clamped to [-Amplitude, Amplitude] per axis. 0 pins the target.
+	Amplitude int
+	// Brightness is the number of discrete illumination levels; <= 1
+	// keeps brightness constant.
+	Brightness int
+	// Noise is the per-pose Gaussian pixel noise sigma, drawn once per
+	// pose (a held camera sees the same sensor realization, which is what
+	// makes quantized payloads repeat).
+	Noise float64
+}
+
+// Validate reports nonsensical stream specs.
+func (s StreamSpec) Validate() error {
+	if s.Frames <= 0 {
+		return fmt.Errorf("dataset: stream frames must be positive, got %d", s.Frames)
+	}
+	if s.HoldMin < 1 {
+		return fmt.Errorf("dataset: stream hold min must be >= 1, got %d", s.HoldMin)
+	}
+	if s.HoldMax < s.HoldMin {
+		return fmt.Errorf("dataset: stream hold max %d below min %d", s.HoldMax, s.HoldMin)
+	}
+	if s.Amplitude < 0 {
+		return fmt.Errorf("dataset: stream amplitude must be non-negative, got %d", s.Amplitude)
+	}
+	if s.Brightness < 0 {
+		return fmt.Errorf("dataset: stream brightness levels must be non-negative, got %d", s.Brightness)
+	}
+	if s.Noise < 0 {
+		return fmt.Errorf("dataset: stream noise must be non-negative, got %v", s.Noise)
+	}
+	return nil
+}
+
+// GenerateStream renders a stream of the given class's target. Prototypes
+// are derived from protoSeed exactly the way Generate derives them, so a
+// model trained on Generate(spec, n, protoSeed) recognizes the stream's
+// frames; seed drives the camera motion independently, so many distinct
+// sessions can scan one trained target. Every frame carries the class
+// label.
+func GenerateStream(s StreamSpec, class int, protoSeed, seed int64) (*Dataset, error) {
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	if class < 0 || class >= s.Base.Classes {
+		return nil, fmt.Errorf("dataset: stream class %d out of range [0,%d)", class, s.Base.Classes)
+	}
+	spec := s.Base
+	protos := makePrototypes(tensor.NewRNG(protoSeed), spec)
+	g := tensor.NewRNG(seed)
+
+	x := tensor.New(s.Frames, spec.C, spec.H, spec.W)
+	labels := make([]int, s.Frames)
+	pose := make([]float32, spec.C*spec.H*spec.W)
+	dx, dy := 0, 0
+	for i := 0; i < s.Frames; {
+		hold := s.HoldMin
+		if s.HoldMax > s.HoldMin {
+			hold += g.Intn(s.HoldMax - s.HoldMin + 1)
+		}
+		// Camera drift: a +-1 pixel random-walk step per pose, clamped to
+		// the amplitude box, so nearby poses recur — the revisit pattern a
+		// bounded LRU can hold on to.
+		if s.Amplitude > 0 {
+			dx = clampInt(dx+g.Intn(3)-1, -s.Amplitude, s.Amplitude)
+			dy = clampInt(dy+g.Intn(3)-1, -s.Amplitude, s.Amplitude)
+		}
+		scale := 1.0
+		if s.Brightness > 1 {
+			scale = 0.8 + 0.4*float64(g.Intn(s.Brightness))/float64(s.Brightness-1)
+		}
+		for j := range pose {
+			pose[j] = 0
+		}
+		for _, st := range protos[class].strokes {
+			renderStroke(pose, spec, st, dx, dy, scale)
+		}
+		if s.Noise > 0 {
+			for j := range pose {
+				pose[j] += float32(s.Noise * g.NormFloat64())
+			}
+		}
+		// Every frame of the hold is a bit-identical copy of the pose.
+		for f := 0; f < hold && i < s.Frames; f++ {
+			copy(x.Batch(i).Data, pose)
+			labels[i] = class
+			i++
+		}
+	}
+	return &Dataset{Name: spec.Name + "-stream", Classes: spec.Classes, X: x, Labels: labels}, nil
+}
+
+func clampInt(v, lo, hi int) int {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}

@@ -1,0 +1,185 @@
+package edge
+
+import (
+	"container/list"
+	"sync"
+
+	"lcrs/internal/collab"
+	"lcrs/internal/obs"
+)
+
+// Edge-side content-addressed answer cache (DESIGN.md §14). Many clients
+// pointing cameras at the same popular target produce bit-identical
+// quantized offload payloads; the edge keys recognitions by the canonical
+// frame hash (collab.Key, computed while the frame is decoded) and serves
+// repeats without checking out a replica — a cross-user dedup the client's
+// private session cache cannot provide. The cache sits after decode and
+// shape validation and before the queue/batcher, so a hit costs a map
+// lookup and an LRU splice: no replica checkout, no forward, 0 allocs
+// (the CI budget test pins this).
+//
+// Concurrent identical misses are collapsed single-flight: the first
+// request for a key becomes the leader and computes; followers park on the
+// flight and reuse the leader's answer, so a burst of one viral frame
+// costs one forward instead of N.
+//
+// Metric semantics (per model, reconciling with /v1/stats by construction):
+//
+//	lcrs_cache_hits_total       requests answered without a checkout
+//	                            (direct hits + single-flight followers)
+//	lcrs_cache_misses_total     requests that went to compute (leaders)
+//	lcrs_cache_evictions_total  entries dropped: LRU pressure or a tau-push
+//	                            invalidation sweep
+//	lcrs_cache_hit_seconds      latency of the hit path (lookup for direct
+//	                            hits; the shared wait for followers)
+//
+// Coherence: cached answers are main-branch predictions, which do not
+// depend on tau — but a tau push changes the decision surface that decides
+// *which* frames reach the edge, and a redeploy that retunes tau usually
+// ships new weights under the same model name. The cache therefore purges
+// on every controller tau change (noteTau): conservative, cheap, and it
+// makes "the controller moved" imply "no answer predates the move".
+// Re-registering a model rebuilds the entry wholesale, so a hot-swap never
+// serves answers from the replaced weights.
+
+// metric names of the answer cache exposition.
+const (
+	metricCacheHits       = "lcrs_cache_hits_total"
+	metricCacheMisses     = "lcrs_cache_misses_total"
+	metricCacheEvictions  = "lcrs_cache_evictions_total"
+	metricCacheHitSeconds = "lcrs_cache_hit_seconds"
+)
+
+// cachedAnswer is the shareable part of an InferResponse: the per-request
+// fields (request ID, stages, payload bytes, agreement) are rebuilt per
+// hit. The slices are written once by the computing request and read-only
+// afterwards, so hits can share them without copying.
+type cachedAnswer struct {
+	pred  int
+	preds []int
+	probs []float32
+}
+
+// ansEntry is one cached recognition keyed by frame content.
+type ansEntry struct {
+	key collab.Key
+	ans cachedAnswer
+}
+
+// flight is one in-progress computation other requests for the same key
+// wait on. done is closed by the leader; ok reports whether ans is usable
+// (false only if the leader's handler died before completing).
+type flight struct {
+	done chan struct{}
+	ans  cachedAnswer
+	ok   bool
+}
+
+// answerCache is a bounded content-addressed LRU with single-flight miss
+// collapsing, one per registered model (entry.cache).
+type answerCache struct {
+	mu      sync.Mutex
+	cap     int
+	lru     *list.List // front = most recent; values are *ansEntry
+	idx     map[collab.Key]*list.Element
+	flights map[collab.Key]*flight
+
+	// tau is the last controller threshold observed; a change purges the
+	// cache (see the coherence note above).
+	tau    float64
+	tauSet bool
+
+	evictions *obs.Counter
+}
+
+func newAnswerCache(capacity int, evictions *obs.Counter) *answerCache {
+	return &answerCache{
+		cap:       capacity,
+		lru:       list.New(),
+		idx:       make(map[collab.Key]*list.Element, capacity),
+		flights:   map[collab.Key]*flight{},
+		evictions: evictions,
+	}
+}
+
+// lookup resolves key: a direct hit returns (ans, true, false, nil); a
+// miss with a computation already in flight returns the flight to wait on;
+// a fresh miss registers the caller as leader (leader true) — the caller
+// MUST then call complete or abort with the returned flight.
+func (c *answerCache) lookup(key collab.Key) (ans cachedAnswer, hit, leader bool, fl *flight) {
+	c.mu.Lock()
+	if el, ok := c.idx[key]; ok {
+		c.lru.MoveToFront(el)
+		ans = el.Value.(*ansEntry).ans
+		c.mu.Unlock()
+		return ans, true, false, nil
+	}
+	if fl, ok := c.flights[key]; ok {
+		c.mu.Unlock()
+		return cachedAnswer{}, false, false, fl
+	}
+	fl = &flight{done: make(chan struct{})}
+	c.flights[key] = fl
+	c.mu.Unlock()
+	return cachedAnswer{}, false, true, fl
+}
+
+// complete stores the leader's answer, releases the flight's followers,
+// and inserts the entry into the LRU (evicting the oldest when full).
+func (c *answerCache) complete(key collab.Key, fl *flight, ans cachedAnswer) {
+	c.mu.Lock()
+	delete(c.flights, key)
+	if el, ok := c.idx[key]; ok {
+		// A racing complete (possible across a purge) just refreshes.
+		el.Value.(*ansEntry).ans = ans
+		c.lru.MoveToFront(el)
+	} else {
+		if c.lru.Len() >= c.cap {
+			oldest := c.lru.Back()
+			c.lru.Remove(oldest)
+			delete(c.idx, oldest.Value.(*ansEntry).key)
+			c.evictions.Inc()
+		}
+		c.idx[key] = c.lru.PushFront(&ansEntry{key: key, ans: ans})
+	}
+	fl.ans = ans
+	fl.ok = true
+	c.mu.Unlock()
+	close(fl.done)
+}
+
+// abort releases a flight without an answer (the leader's handler
+// panicked); followers fall back to computing themselves.
+func (c *answerCache) abort(key collab.Key, fl *flight) {
+	c.mu.Lock()
+	delete(c.flights, key)
+	c.mu.Unlock()
+	close(fl.done)
+}
+
+// noteTau records the controller's current threshold and purges every
+// cached answer when it moved — the tau-push invalidation sweep. Purged
+// entries count as evictions so the counters still tell the whole story.
+func (c *answerCache) noteTau(tau float64) {
+	c.mu.Lock()
+	if c.tauSet && c.tau == tau {
+		c.mu.Unlock()
+		return
+	}
+	purged := c.lru.Len()
+	if c.tauSet && purged > 0 {
+		c.lru.Init()
+		c.idx = make(map[collab.Key]*list.Element, c.cap)
+		c.evictions.Add(int64(purged))
+	}
+	c.tau = tau
+	c.tauSet = true
+	c.mu.Unlock()
+}
+
+// Len reports the number of cached answers (tests and stats).
+func (c *answerCache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.lru.Len()
+}

@@ -47,6 +47,7 @@ func unitBounds() []float64 {
 type decisionStats struct {
 	ExitLocal   *obs.Counter // samples exited on-device (piggybacked)
 	ExitOffload *obs.Counter // samples offloaded to this edge
+	ClientCache *obs.Counter // samples served by client session caches (v4 piggyback)
 	Reported    *obs.Counter // requests that carried a telemetry block
 	AgreeYes    *obs.Counter
 	AgreeNo     *obs.Counter
@@ -63,6 +64,9 @@ func newDecisionStats(reg *obs.Registry, model string) decisionStats {
 		ExitOffload: reg.Counter(metricExitDecisions,
 			"Samples by exit decision: local (client-side exits, piggybacked in telemetry frames) or offload (served here).",
 			l, obs.Label{Key: "decision", Value: "offload"}),
+		ClientCache: reg.Counter(metricExitDecisions,
+			"Samples by exit decision: client_cache counts recognitions served from client session caches, piggybacked in v4 telemetry frames.",
+			l, obs.Label{Key: "decision", Value: "client_cache"}),
 		Reported: reg.Counter(metricExitReported,
 			"Served inferences whose request carried a decision-telemetry block (v3 frames).", l),
 		AgreeYes: reg.Counter(metricAgree,
@@ -94,6 +98,9 @@ func (d *decisionStats) observe(samples int, tel *collab.Telemetry, mainPred int
 	if tel.LocalExits > 0 {
 		d.ExitLocal.Add(int64(tel.LocalExits))
 	}
+	if tel.CacheHits > 0 {
+		d.ClientCache.Add(int64(tel.CacheHits))
+	}
 	d.entropy.Observe(tel.Entropy)
 	margin := tel.Entropy - tel.Tau
 	if margin < 0 {
@@ -119,6 +126,11 @@ type ExitStats struct {
 	LocalExits       int64   `json:"local_exits"`
 	OffloadedSamples int64   `json:"offloaded_samples"`
 	ExitRate         float64 `json:"exit_rate"`
+	// ClientCacheHits counts recognitions clients served from their session
+	// caches (piggybacked in v4 frames) — a third way a frame avoids edge
+	// compute, reported separately so ExitRate keeps its local/(local+
+	// offload) meaning.
+	ClientCacheHits int64 `json:"client_cache_hits"`
 	// TelemetryRequests counts served inferences that carried telemetry —
 	// the denominator of how much of the traffic the fields below cover.
 	TelemetryRequests int64 `json:"telemetry_requests"`
@@ -152,6 +164,7 @@ func (s *Server) ExitStats() []ExitStats {
 			Name:              name,
 			LocalExits:        d.ExitLocal.Value(),
 			OffloadedSamples:  d.ExitOffload.Value(),
+			ClientCacheHits:   d.ClientCache.Value(),
 			TelemetryRequests: d.Reported.Value(),
 			Agree:             d.AgreeYes.Value(),
 			Disagree:          d.AgreeNo.Value(),

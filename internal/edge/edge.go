@@ -106,12 +106,23 @@ type entry struct {
 	// synchronization like batcher.
 	ctrl *tauControl
 
+	// cache is the model's content-addressed answer cache (WithAnswerCache);
+	// nil otherwise (the default). Written once at registration like batcher.
+	cache *answerCache
+
+	// checkouts counts replica checkouts — the invariant the answer cache
+	// exists to protect (a hit must not move this) and what tests assert.
+	checkouts atomic.Int64
+
 	stats *modelStats
 }
 
 // checkout borrows a forward context from the pool, blocking until one is
 // free; the caller must hand it back with checkin.
-func (e *entry) checkout() *models.Composite { return <-e.replicas }
+func (e *entry) checkout() *models.Composite {
+	e.checkouts.Add(1)
+	return <-e.replicas
+}
 
 func (e *entry) checkin(m *models.Composite) { e.replicas <- m }
 
@@ -129,6 +140,14 @@ type modelStats struct {
 	InferErrors     *obs.Counter
 	BundleDownloads *obs.Counter
 	PayloadBytes    *obs.Counter
+
+	// Answer-cache counters (anscache.go): created unconditionally so
+	// /metrics and /v1/stats reconcile whether or not the cache is enabled.
+	CacheHits      *obs.Counter
+	CacheMisses    *obs.Counter
+	CacheEvictions *obs.Counter
+	// cacheHit is the hit-path latency histogram (lcrs_cache_hit_seconds).
+	cacheHit *obs.Histogram
 
 	// Micro-batching counters: requests served through the coalescing
 	// path, the subset that shared a forward with at least one other
@@ -178,6 +197,19 @@ type ModelStats struct {
 	Batches           int64 `json:"batches,omitempty"`
 	// BatchSizeHist buckets batched forwards by sample count.
 	BatchSizeHist []HistBucket `json:"batch_size_hist,omitempty"`
+	// Answer-cache counters (WithAnswerCache): requests answered without a
+	// replica checkout, requests that went to compute, and entries dropped
+	// (LRU pressure or tau-push invalidation). All zero (and omitted) when
+	// the cache is disabled. With the cache enabled,
+	// CacheHits + CacheMisses equals the successfully decoded infer
+	// requests, so the three views reconcile by construction.
+	CacheHits      int64 `json:"cache_hits,omitempty"`
+	CacheMisses    int64 `json:"cache_misses,omitempty"`
+	CacheEvictions int64 `json:"cache_evictions,omitempty"`
+	// CacheHitP50Micros/P99 summarize the lcrs_cache_hit_seconds histogram;
+	// present only after the first hit.
+	CacheHitP50Micros int64 `json:"cache_hit_p50_micros,omitempty"`
+	CacheHitP99Micros int64 `json:"cache_hit_p99_micros,omitempty"`
 }
 
 // HistBucket is one batch-size histogram bucket: Count batches carried a
@@ -209,6 +241,9 @@ type Server struct {
 	// registered model its own online tau controller (taucontrol.go).
 	// Stored pre-validated, so Register cannot fail on it.
 	tauCfg *exitpolicy.Config
+	// answerCap, when positive (WithAnswerCache), gives every subsequently
+	// registered model a content-addressed answer cache of that capacity.
+	answerCap int
 	// closed is set by Close; models registered afterwards are served
 	// without a batcher so no coalescing goroutine outlives shutdown.
 	closed bool
@@ -404,6 +439,13 @@ func (s *Server) Register(name string, m *models.Composite) error {
 		}
 		e.ctrl = ctrl
 	}
+	if s.answerCap > 0 {
+		// Like batcher: written once before the entry is published, read by
+		// handlers without further synchronization. A fresh cache per
+		// registration means a hot-swapped model never serves answers
+		// computed by the weights it replaced.
+		e.cache = newAnswerCache(s.answerCap, e.stats.CacheEvictions)
+	}
 	if s.batchMax > 1 && !s.closed {
 		// The batcher is written exactly once, before the entry is
 		// published; handlers read it without further synchronization.
@@ -463,6 +505,13 @@ func (s *Server) Stats() []ModelStats {
 			BatchedRequests:   e.stats.BatchedRequests.Value(),
 			CoalescedRequests: e.stats.CoalescedRequests.Value(),
 			Batches:           e.stats.Batches.Value(),
+			CacheHits:         e.stats.CacheHits.Value(),
+			CacheMisses:       e.stats.CacheMisses.Value(),
+			CacheEvictions:    e.stats.CacheEvictions.Value(),
+		}
+		if st.CacheHits > 0 {
+			st.CacheHitP50Micros = int64(e.stats.cacheHit.Quantile(0.5) * 1e6)
+			st.CacheHitP99Micros = int64(e.stats.cacheHit.Quantile(0.99) * 1e6)
 		}
 		if ok := st.InferRequests - st.InferErrors; ok > 0 {
 			st.AvgComputeMicros = e.stats.ComputeMicros.Load() / ok
@@ -565,7 +614,20 @@ func (s *Server) handleInfer(w http.ResponseWriter, r *http.Request) {
 	var tr trace
 	body := &timingReader{r: r.Body}
 	decodeStart := time.Now()
-	t, codecID, tel, err := collab.ReadFrameTelemetry(body)
+	var (
+		t       *tensor.Tensor
+		codecID collab.CodecID
+		tel     *collab.Telemetry
+		key     collab.Key
+		err     error
+	)
+	if e.cache != nil {
+		// The canonical frame key is folded in while the payload streams
+		// through the decoder, so content addressing costs no second pass.
+		t, codecID, tel, key, err = collab.ReadFrameTelemetryKeyed(body)
+	} else {
+		t, codecID, tel, err = collab.ReadFrameTelemetry(body)
+	}
 	tr.stages[stageRead] = body.took
 	tr.stages[stageDecode] = time.Since(decodeStart) - body.took
 	if err != nil {
@@ -590,17 +652,48 @@ func (s *Server) handleInfer(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	var resp InferResponse
-	// A request whose own batch already fills the cap gains nothing
-	// from coalescing (and would only add queueing delay), so it goes
-	// straight to a replica; so does everything when batching is off
-	// or the batcher is shutting down.
-	if b := e.batcher; b != nil && t.Dim(0) < b.max {
-		var ok bool
-		if resp, ok = b.infer(name, t, &tr); !ok {
-			resp = inferOn(name, e, t, &tr)
+	if cache := e.cache; cache != nil {
+		// Answer cache: a hit (or a single-flight follower) is served
+		// without touching the queue, batcher or replica pool; the queue/
+		// batch_wait/forward stages stay zero, which is exactly what the
+		// stage histograms should say about it.
+		hitStart := time.Now()
+		ans, hit, leader, fl := cache.lookup(key)
+		switch {
+		case hit:
+			resp = InferResponse{Model: name, Pred: ans.pred, Preds: ans.preds, Probs: ans.probs}
+			e.stats.CacheHits.Inc()
+			e.stats.InferRequests.Inc()
+			e.stats.cacheHit.ObserveDuration(time.Since(hitStart))
+		case leader:
+			e.stats.CacheMisses.Inc()
+			completed := false
+			defer func() {
+				// Release followers even if the forward panics; they fall
+				// back to computing themselves.
+				if !completed {
+					cache.abort(key, fl)
+				}
+			}()
+			resp = computeInfer(name, e, t, &tr)
+			cache.complete(key, fl, cachedAnswer{pred: resp.Pred, preds: resp.Preds, probs: resp.Probs})
+			completed = true
+		default:
+			// An identical frame is being computed right now: wait for the
+			// leader's answer instead of duplicating the forward.
+			<-fl.done
+			if fl.ok {
+				resp = InferResponse{Model: name, Pred: fl.ans.pred, Preds: fl.ans.preds, Probs: fl.ans.probs}
+				e.stats.CacheHits.Inc()
+				e.stats.InferRequests.Inc()
+				e.stats.cacheHit.ObserveDuration(time.Since(hitStart))
+			} else {
+				e.stats.CacheMisses.Inc()
+				resp = computeInfer(name, e, t, &tr)
+			}
 		}
 	} else {
-		resp = inferOn(name, e, t, &tr)
+		resp = computeInfer(name, e, t, &tr)
 	}
 	if c, cerr := collab.CodecByID(codecID); cerr == nil {
 		resp.Codec = c.Name()
@@ -622,9 +715,15 @@ func (s *Server) handleInfer(w http.ResponseWriter, r *http.Request) {
 		// The controller ingests this request's telemetry and the updated
 		// tau rides back in the response — before encoding, unlike the
 		// §11 decision counters, which keep their post-write success-only
-		// discipline.
+		// discipline. Cache hits feed the controller too: a hit is still a
+		// served decision sample.
 		if tau, ok := e.ctrl.observe(tel, t.Dim(0), resp.Pred); ok {
 			resp.Tau = &tau
+			if e.cache != nil {
+				// Tau-push invalidation: the threshold the answers were
+				// computed under just moved (anscache.go, coherence note).
+				e.cache.noteTau(tau)
+			}
 		}
 	}
 	info.codec = resp.Codec
@@ -698,6 +797,21 @@ func normalizeIntermediate(e *entry, t *tensor.Tensor) (*tensor.Tensor, error) {
 			t.Shape, want, maxInferBatch)
 	}
 	return t, nil
+}
+
+// computeInfer is the compute path of handleInfer: micro-batched when the
+// server has batching enabled and the request's own batch leaves room for
+// coalescing, a direct replica forward otherwise. A request whose own
+// batch already fills the cap gains nothing from coalescing (and would
+// only add queueing delay), so it goes straight to a replica; so does
+// everything when batching is off or the batcher is shutting down.
+func computeInfer(name string, e *entry, t *tensor.Tensor, tr *trace) InferResponse {
+	if b := e.batcher; b != nil && t.Dim(0) < b.max {
+		if resp, ok := b.infer(name, t, tr); ok {
+			return resp
+		}
+	}
+	return inferOn(name, e, t, tr)
 }
 
 // inferOn runs the main-branch rest on a normalized intermediate batch,

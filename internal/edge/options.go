@@ -146,6 +146,28 @@ func WithTauControl(cfg exitpolicy.Config) Option {
 	}
 }
 
+// WithAnswerCache gives every subsequently registered model a bounded
+// content-addressed answer cache of n entries (anscache.go, DESIGN.md
+// §14): offload frames are keyed by the canonical hash of their encoded
+// payload (collab.FrameKey semantics), repeats are answered without a
+// replica checkout, and concurrent identical misses are collapsed
+// single-flight. The cache purges itself whenever the tau controller
+// pushes a new threshold. n <= 0 disables the cache (the default).
+// Cache behavior is observable in the lcrs_cache_* metric families and
+// the cache_* fields of /v1/stats.
+func WithAnswerCache(n int) Option {
+	return func(s *Server) error {
+		if n > 1<<20 {
+			return fmt.Errorf("edge: answer cache size %d unreasonably large", n)
+		}
+		if n < 0 {
+			n = 0
+		}
+		s.answerCap = n
+		return nil
+	}
+}
+
 // WithMetrics makes the server record its counters and stage histograms
 // into reg instead of a private registry — the way to aggregate several
 // servers (or a server plus application metrics) into one /metrics

@@ -133,6 +133,15 @@ func newModelStats(reg *obs.Registry, model string) *modelStats {
 		CoalescedRequests: reg.Counter(metricCoalescedReqs, "Batched requests that shared a forward with at least one peer.", l),
 		Batches:           reg.Counter(metricBatches, "Coalesced forward passes executed.", l),
 		batchSize:         reg.Histogram(metricBatchSize, "Samples per coalesced forward.", batchSizeBounds(), l),
+		CacheHits: reg.Counter(metricCacheHits,
+			"Infer requests answered from the edge answer cache without a replica checkout (direct hits and single-flight followers).", l),
+		CacheMisses: reg.Counter(metricCacheMisses,
+			"Infer requests that missed the answer cache and went to compute.", l),
+		CacheEvictions: reg.Counter(metricCacheEvictions,
+			"Answer-cache entries dropped: LRU pressure or tau-push invalidation.", l),
+		cacheHit: reg.Histogram(metricCacheHitSeconds,
+			"Latency of answer-cache hits (lookup for direct hits, the shared wait for followers).",
+			obs.LatencyBuckets(), l),
 	}
 	for i := range st.stage {
 		st.stage[i] = reg.Histogram(metricStageSeconds,

@@ -1,0 +1,106 @@
+package edgesim
+
+import (
+	"testing"
+
+	"lcrs/internal/netsim"
+)
+
+// TestCacheHitRatioZeroExactReduction pins the reduction contract: a
+// workload with CacheHitRatio 0 must reproduce the pre-cache simulator
+// bit for bit — the hit machinery may not consume a single random draw —
+// and a vanishingly small positive ratio differs only by classifying
+// (here, zero) hits from an isolated RNG, leaving every queueing number
+// identical.
+func TestCacheHitRatioZeroExactReduction(t *testing.T) {
+	w := baseWorkload()
+	legacy, err := Run(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w.CacheHitRatio = 0
+	zero, err := Run(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if legacy != zero {
+		t.Fatalf("CacheHitRatio=0 diverged from legacy:\n%+v\n%+v", legacy, zero)
+	}
+	if zero.CacheHits != 0 {
+		t.Fatalf("zero ratio produced %d hits", zero.CacheHits)
+	}
+
+	// Essentially-zero positive ratio: the classifier runs but (with
+	// overwhelming probability over a 600-arrival run) draws no hit; the
+	// isolated RNG guarantees the service-path numbers cannot move.
+	w.CacheHitRatio = 1e-12
+	eps, err := Run(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eps.OfferedLoad = zero.OfferedLoad // differs only by the (1-h) factor
+	if eps.CacheHits != 0 || eps != zero {
+		t.Fatalf("epsilon ratio perturbed the service path:\n%+v\n%+v", eps, zero)
+	}
+}
+
+// TestCacheHitRatioRelievesServer: hits bypass the service station, so a
+// higher hit ratio lowers utilization and queueing on an otherwise
+// identical workload, and hits + server-side batches account for every
+// served request.
+func TestCacheHitRatioRelievesServer(t *testing.T) {
+	w := baseWorkload()
+	w.RequestRate = 4 // push utilization up so the relief is visible
+	w.Link = netsim.WiFi()
+	w.PayloadBytes = 1024
+	loaded, err := Run(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w.CacheHitRatio = 0.8
+	cached, err := Run(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cached.CacheHits == 0 {
+		t.Fatal("0.8 hit ratio produced no hits")
+	}
+	if cached.Utilization >= loaded.Utilization {
+		t.Fatalf("hits must relieve the server: utilization %v -> %v",
+			loaded.Utilization, cached.Utilization)
+	}
+	if cached.MeanWait >= loaded.MeanWait {
+		t.Fatalf("hits must cut queueing: wait %v -> %v", loaded.MeanWait, cached.MeanWait)
+	}
+	if cached.OfferedLoad >= loaded.OfferedLoad {
+		t.Fatalf("offered load must shrink by (1-h): %v -> %v",
+			loaded.OfferedLoad, cached.OfferedLoad)
+	}
+	// Hits still pay the uplink: even an all-hit run keeps the transfer.
+	if cached.Transfer != loaded.Transfer {
+		t.Fatalf("transfer must not depend on the hit ratio: %v vs %v",
+			cached.Transfer, loaded.Transfer)
+	}
+}
+
+// TestCacheHitRatioOne is the degenerate edge: every request hits, the
+// server never runs, and sojourn collapses to the uplink transfer.
+func TestCacheHitRatioOne(t *testing.T) {
+	w := baseWorkload()
+	w.Link = netsim.WiFi()
+	w.PayloadBytes = 2048
+	w.CacheHitRatio = 1
+	res, err := Run(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Served == 0 || res.CacheHits != res.Served {
+		t.Fatalf("all requests must hit: %+v", res)
+	}
+	if res.Utilization != 0 || res.Batches != 0 || res.MeanWait != 0 {
+		t.Fatalf("an all-hit run must never touch the server: %+v", res)
+	}
+	if res.MeanSojourn != res.Transfer || res.P99Sojourn != res.Transfer {
+		t.Fatalf("all-hit sojourn must equal the transfer %v: %+v", res.Transfer, res)
+	}
+}

@@ -57,6 +57,16 @@ type Workload struct {
 	// sweeps, fork/join) that batching amortizes across the batch;
 	// ServiceTime stays the per-sample marginal cost.
 	SetupTime time.Duration
+
+	// CacheHitRatio is the share of offloaded requests answered from the
+	// edge's content-addressed answer cache (edge.WithAnswerCache): hits
+	// bypass the service station entirely — they pay the uplink transfer
+	// but neither queue nor occupy the server — modeling the streaming AR
+	// regime where many identical quantized frames arrive. 0 (the default)
+	// disables the cache; hits are classified with randomness isolated
+	// from arrival generation, so two workloads differing only in this
+	// field see the same arrival process.
+	CacheHitRatio float64
 }
 
 // TransferTime returns the per-request uplink cost of the workload: zero
@@ -91,6 +101,9 @@ func (w Workload) Validate() error {
 	if w.SetupTime < 0 {
 		return fmt.Errorf("edgesim: setup time must be non-negative, got %v", w.SetupTime)
 	}
+	if w.CacheHitRatio < 0 || w.CacheHitRatio > 1 {
+		return fmt.Errorf("edgesim: cache hit ratio %v out of [0,1]", w.CacheHitRatio)
+	}
 	return nil
 }
 
@@ -116,10 +129,14 @@ type Result struct {
 	// sample) — above 1 the unbatched queue is unstable; batching can
 	// hold an offered load above 1 stable by amortizing the setup.
 	OfferedLoad float64
+	// CacheHits is the number of served requests answered by the simulated
+	// answer cache: they pay the transfer but never touch the server.
+	CacheHits int
 	// Batches is the number of server forwards; MeanBatch is the average
 	// number of requests they coalesced (1 with batching off).
 	Batches int
-	// MeanBatch is Served / Batches.
+	// MeanBatch is (Served - CacheHits) / Batches: hits never reach a
+	// forward, so they do not dilute the coalescing average.
 	MeanBatch float64
 	// MeanHold is the mean coalescing hold per request: time spent parked
 	// for batch peers or the deadline, before the server could have taken
@@ -166,6 +183,26 @@ func Run(w Workload) (Result, error) {
 	arrivals := make([]float64, 0, h.Len())
 	for h.Len() > 0 {
 		arrivals = append(arrivals, heap.Pop(h).(float64))
+	}
+
+	// Cache hits bypass the service station: they pay the transfer but
+	// neither queue nor occupy the server. Classification draws from a
+	// split RNG, and only when the ratio is positive, so arrivals are
+	// identical across workloads that differ only in the hit ratio — and a
+	// zero-ratio run consumes exactly the pre-cache random stream (the
+	// exact-reduction contract the tests pin).
+	hits := 0
+	if w.CacheHitRatio > 0 {
+		hg := g.Split()
+		miss := arrivals[:0]
+		for _, at := range arrivals {
+			if hg.Float64() < w.CacheHitRatio {
+				hits++
+			} else {
+				miss = append(miss, at)
+			}
+		}
+		arrivals = miss
 	}
 
 	service := w.ServiceTime.Seconds()
@@ -223,15 +260,25 @@ func Run(w Workload) (Result, error) {
 		}
 	}
 
+	// Hits are served requests with zero wait and zero server sojourn;
+	// their transfer cost rides in with everyone else's below.
+	for k := 0; k < hits; k++ {
+		waits = append(waits, 0)
+		sojourns = append(sojourns, 0)
+	}
+
 	res := Result{
 		Served:      len(waits),
-		OfferedLoad: float64(w.Clients) * lambda * (setup + service),
+		CacheHits:   hits,
+		OfferedLoad: float64(w.Clients) * lambda * (setup + service) * (1 - w.CacheHitRatio),
 		Batches:     batches,
 	}
 	if len(waits) == 0 {
 		return res, nil
 	}
-	res.MeanBatch = float64(res.Served) / float64(batches)
+	if batches > 0 {
+		res.MeanBatch = float64(res.Served-hits) / float64(batches)
+	}
 	span := math.Max(horizon, busyUntil)
 	res.Utilization = busyTotal / span
 	sort.Float64s(waits)

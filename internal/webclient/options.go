@@ -96,6 +96,45 @@ func WithExitFlush(n int) Option {
 	}
 }
 
+// WithSessionCache enables the session recognition cache with room for n
+// answers: the client hashes the encoded conv1 payload of every offload
+// (collab.FrameKey semantics) and reuses the edge's previous answer when
+// an identical frame recurs — the streaming AR case where the camera holds
+// on one target. Hits are reported in Result.CacheHit, piggybacked to the
+// edge on the next real offload (v4 telemetry frames), and served even
+// during an edge outage. n <= 0 disables the cache (the default). See
+// WithRevalidateEvery for staleness bounds.
+func WithSessionCache(n int) Option {
+	return func(c *Client) error {
+		if n <= 0 {
+			c.cache = nil
+			return nil
+		}
+		if n > 1<<20 {
+			return fmt.Errorf("webclient: session cache size %d unreasonably large", n)
+		}
+		c.cache = newSessionCache(n)
+		return nil
+	}
+}
+
+// WithRevalidateEvery bounds how many consecutive hits one cache entry may
+// serve before the next identical frame is offloaded anyway, refreshing
+// the answer: content addressing guarantees a hit matches the frame, but
+// the edge's answer for it can change (model hot-swap, tau retuning), and
+// without a bound a stuck camera would pin a stale answer forever. k = 0
+// (the default) never revalidates; negative k is rejected. Only meaningful
+// together with WithSessionCache.
+func WithRevalidateEvery(k int) Option {
+	return func(c *Client) error {
+		if k < 0 {
+			return fmt.Errorf("webclient: negative revalidation interval %d", k)
+		}
+		c.revalidateEvery = k
+		return nil
+	}
+}
+
 // WithTimeout bounds every HTTP request (bundle download and inference)
 // to d; d <= 0 is rejected. Options apply in order, so place WithTimeout
 // after WithHTTPClient to override that client's timeout — the caller's

@@ -68,6 +68,18 @@ type Client struct {
 	// the next telemetry frame piggybacks (and resets) it, giving the edge
 	// a live exit rate without any extra requests.
 	pendingExits atomic.Int64
+	// cache is the session recognition cache (WithSessionCache); nil when
+	// disabled (the default). Touched only inside Recognize, which runs one
+	// at a time, so it needs no lock.
+	cache *sessionCache
+	// revalidateEvery bounds how many consecutive hits one cache entry may
+	// serve before the next identical frame is offloaded anyway to refresh
+	// the answer (WithRevalidateEvery); 0 never revalidates.
+	revalidateEvery int
+	// pendingCacheHits counts session-cache hits since the last successful
+	// offload, piggybacked on the next telemetry frame (v4) exactly like
+	// pendingExits — and refunded the same way when the offload fails.
+	pendingCacheHits atomic.Int64
 
 	// FallbackToBinary makes Recognize degrade gracefully: when the edge
 	// server is unreachable (or errors), the binary branch's local answer
@@ -269,8 +281,14 @@ type Result struct {
 	RequestID string
 	// BinaryAgree is the edge's verdict on whether BinaryPred matched the
 	// main branch's answer; nil when the sample exited locally or the
-	// request carried no telemetry.
+	// request carried no telemetry. On a session-cache hit it is computed
+	// locally against the cached answer.
 	BinaryAgree *bool
+	// CacheHit reports the answer came from the session recognition cache
+	// (WithSessionCache): the frame's quantized payload matched a recent
+	// offload's, so no request was sent. Combined with Degraded it means a
+	// cached answer was served because the edge was unreachable.
+	CacheHit bool
 }
 
 // Recognize runs Algorithm 2 on one CHW sample.
@@ -301,6 +319,32 @@ func (c *Client) Recognize(ctx context.Context, x *tensor.Tensor) (Result, error
 		return res, nil
 	}
 
+	// Session cache: hash the payload this offload would carry and reuse
+	// the edge's previous answer for an identical frame. A hit due for
+	// revalidation falls through to a real offload, which refreshes the
+	// entry on success (cache.put) — or serves the cached answer anyway if
+	// the edge turns out to be unreachable.
+	var key collab.Key
+	keyed := false
+	if c.cache != nil {
+		if k, err := collab.TensorKey(c.wireCodec(), shared); err == nil {
+			key, keyed = k, true
+			if ent := c.cache.get(key); ent != nil {
+				ent.uses++
+				if c.revalidateEvery <= 0 || ent.uses < c.revalidateEvery {
+					c.pendingCacheHits.Add(1)
+					res.CacheHit = true
+					res.Pred = ent.pred
+					agree := binaryPred == ent.pred
+					res.BinaryAgree = &agree
+					res.ClientTime = time.Since(start)
+					res.Stages.Local = res.ClientTime
+					return res, nil
+				}
+			}
+		}
+	}
+
 	tel := c.telemetryFor(entropy, binaryPred, tau)
 	encodeStart := time.Now()
 	var buf bytes.Buffer
@@ -315,12 +359,30 @@ func (c *Client) Recognize(ctx context.Context, x *tensor.Tensor) (Result, error
 	ir, err := c.edgeInfer(ctx, &buf, id)
 	if err != nil {
 		c.refundExits(tel)
+		if keyed {
+			if ent := c.cache.get(key); ent != nil {
+				// Edge outage, but this exact frame has a cached answer —
+				// serve it (stale revalidation included) instead of
+				// degrading to the binary branch or failing the scan.
+				c.pendingCacheHits.Add(1)
+				res.CacheHit = true
+				res.Degraded = true
+				res.Pred = ent.pred
+				agree := binaryPred == ent.pred
+				res.BinaryAgree = &agree
+				res.PayloadBytes = 0
+				return res, nil
+			}
+		}
 		if c.FallbackToBinary {
 			res.Degraded = true
 			res.Pred = binaryPred
 			return res, nil
 		}
 		return Result{}, err
+	}
+	if keyed {
+		c.cache.put(key, ir.Pred)
 	}
 	res.EdgeTime = time.Since(edgeStart)
 	res.Stages.RTT = res.EdgeTime
@@ -337,11 +399,12 @@ func (c *Client) Recognize(ctx context.Context, x *tensor.Tensor) (Result, error
 }
 
 // telemetryFor builds the offload frame's decision-telemetry block,
-// draining the pending local-exit count into it. tau is the threshold
-// the caller's decision actually used (loaded once per decision). It
-// returns nil when telemetry is disabled (the client then sends plain
-// v2/v1 frames). A caller whose request ultimately fails must hand the
-// exits back with refundExits so the edge's exit counts stay complete.
+// draining the pending local-exit and session-cache-hit counts into it.
+// tau is the threshold the caller's decision actually used (loaded once
+// per decision). It returns nil when telemetry is disabled (the client
+// then sends plain v2/v1 frames). A caller whose request ultimately fails
+// must hand the counts back with refundExits so the edge's decision
+// counters stay complete.
 func (c *Client) telemetryFor(entropy float64, binaryPred int, tau float64) *collab.Telemetry {
 	if c.noTelemetry {
 		return nil
@@ -351,9 +414,14 @@ func (c *Client) telemetryFor(entropy float64, binaryPred int, tau float64) *col
 		c.pendingExits.Add(over)
 		exits = collab.MaxLocalExits
 	}
+	hits := c.pendingCacheHits.Swap(0)
+	if over := hits - collab.MaxCacheHits; over > 0 {
+		c.pendingCacheHits.Add(over)
+		hits = collab.MaxCacheHits
+	}
 	return &collab.Telemetry{
 		Entropy: entropy, Tau: tau,
-		BinaryPred: binaryPred, LocalExits: int(exits),
+		BinaryPred: binaryPred, LocalExits: int(exits), CacheHits: int(hits),
 	}
 }
 
@@ -364,11 +432,19 @@ func (c *Client) mustFlush() bool {
 	return c.flushEvery > 0 && !c.noTelemetry && c.pendingExits.Load() >= int64(c.flushEvery)
 }
 
-// refundExits returns a failed request's piggybacked exit count to the
-// pending pool so the next successful offload reports it.
+// refundExits returns a failed request's piggybacked exit and cache-hit
+// counts to their pending pools so the next successful offload reports
+// them — exactly once: the counts were drained by telemetryFor's Swap, so
+// a refund is the only copy in flight.
 func (c *Client) refundExits(tel *collab.Telemetry) {
-	if tel != nil && tel.LocalExits > 0 {
+	if tel == nil {
+		return
+	}
+	if tel.LocalExits > 0 {
 		c.pendingExits.Add(int64(tel.LocalExits))
+	}
+	if tel.CacheHits > 0 {
+		c.pendingCacheHits.Add(int64(tel.CacheHits))
 	}
 }
 
