@@ -37,6 +37,7 @@ func main() {
 		pinTau = flag.Bool("pin-tau", false, "ignore tau updates pushed by the edge's controller, keeping the starting threshold for the whole session")
 		cache  = flag.Int("session-cache", 0, "session recognition cache capacity: identical offload payloads are answered locally from the last edge answer (0 disables)")
 		revaln = flag.Int("revalidate-every", 0, "offload every Nth recognition of a cached frame anyway to refresh its answer (0 never revalidates; needs -session-cache)")
+		pinVer = flag.Bool("pin-version", false, "pin offloads to the downloaded bundle's model version; an edge hot-swap then fails the session instead of serving cross-version answers")
 	)
 	flag.Parse()
 	if *ckpt == "" {
@@ -84,6 +85,9 @@ func main() {
 	if *revaln > 0 {
 		copts = append(copts, webclient.WithRevalidateEvery(*revaln))
 	}
+	if *pinVer {
+		copts = append(copts, webclient.WithVersionPin(true))
+	}
 	c, err := webclient.New(*server, copts...)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "lcrs-client:", err)
@@ -94,7 +98,12 @@ func main() {
 		os.Exit(1)
 	}
 	loadTime, loadBytes := c.LoadStats()
-	fmt.Printf("bundle loaded: %d bytes in %v (tau %.4f)\n", loadBytes, loadTime.Round(time.Microsecond), threshold)
+	ver := c.ModelVersion()
+	if ver == "" {
+		ver = "unversioned"
+	}
+	fmt.Printf("bundle loaded: %d bytes in %v (tau %.4f, model version %s)\n",
+		loadBytes, loadTime.Round(time.Microsecond), threshold, ver)
 	chosen, err := c.NegotiateCodec(ctx, *codec)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "lcrs-client:", err)
@@ -106,7 +115,7 @@ func main() {
 		fmt.Printf("offload codec: %s\n", chosen)
 	}
 
-	var exits, hits, correct, agreeYes, agreeJudged int
+	var exits, hits, correct, agreeYes, agreeJudged, swaps int
 	var totalClient, totalEdge, totalNet, totalServer time.Duration
 	var totalPayload int
 	for i := 0; i < ds.Len(); i++ {
@@ -115,6 +124,17 @@ func main() {
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "lcrs-client:", err)
 			os.Exit(1)
+		}
+		// An answer from a different version than our bundle means the edge
+		// hot-swapped mid-session: re-download the bundle (a cheap 304 when
+		// this was a transient rollback) so local exits match the edge again.
+		if res.BundleStale {
+			swaps++
+			if changed, err := c.RevalidateBundle(ctx); err != nil {
+				fmt.Fprintln(os.Stderr, "lcrs-client: revalidate bundle:", err)
+			} else if changed {
+				fmt.Printf("edge hot-swapped to model version %s; bundle re-downloaded\n", c.ModelVersion())
+			}
 		}
 		path := "edge"
 		switch {
@@ -176,6 +196,9 @@ func main() {
 	if *cache > 0 {
 		fmt.Printf("session cache: %d/%d recognitions answered locally (%.0f%%)\n",
 			hits, ds.Len(), float64(hits)/float64(ds.Len())*100)
+	}
+	if swaps > 0 {
+		fmt.Printf("model hot-swaps observed mid-session: %d (final version %s)\n", swaps, c.ModelVersion())
 	}
 	// With a controller-enabled edge (lcrs-edge -tau-mode) the threshold
 	// drifts over the session as pushed updates arrive.

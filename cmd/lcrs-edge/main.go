@@ -5,6 +5,14 @@
 // Usage:
 //
 //	lcrs-edge -addr :8080 -model demo=lenet-mnist.lcrs -model webar=webar.lcrs
+//	lcrs-edge -addr :8080 -pack demo=lenet-mnist.lcpk -watch-pack 5s
+//
+// -model serves a bare checkpoint; -pack serves a deploy pack (lcrs-train
+// -pack), which additionally carries the screened tau, codec default and
+// the artifact itself for clients to mirror. With -watch-pack the pack
+// files are polled and a changed pack is hot-swapped in with zero downtime:
+// in-flight requests finish on the old version, new requests see the new
+// one (DESIGN.md section 15).
 package main
 
 import (
@@ -59,9 +67,16 @@ func main() {
 	tauInit := flag.Float64("tau-init", -1, "controller starting threshold; negative (the default) adopts the first client-reported tau instead")
 	ansCache := flag.Int("answer-cache", 0, "content-addressed answer cache capacity per model: repeated offload payloads are answered without a replica checkout (0 disables)")
 	flag.Var(&mf, "model", "name=checkpoint.lcrs (repeatable)")
+	var pf modelFlags
+	flag.Var(&pf, "pack", "name=deploy.lcpk model pack to serve (repeatable); packs carry tau, codec default and the mirrorable artifact")
+	watchPack := flag.Duration("watch-pack", 0, "poll -pack files at this interval and hot-swap changed packs in with zero downtime (0 disables)")
 	flag.Parse()
-	if len(mf) == 0 {
-		fmt.Fprintln(os.Stderr, "lcrs-edge: at least one -model name=path is required")
+	if len(mf) == 0 && len(pf) == 0 {
+		fmt.Fprintln(os.Stderr, "lcrs-edge: at least one -model or -pack name=path is required")
+		os.Exit(2)
+	}
+	if *watchPack < 0 || (*watchPack > 0 && len(pf) == 0) {
+		fmt.Fprintln(os.Stderr, "lcrs-edge: -watch-pack needs a non-negative interval and at least one -pack")
 		os.Exit(2)
 	}
 
@@ -148,15 +163,92 @@ func main() {
 			fmt.Fprintf(os.Stderr, "lcrs-edge: load %s: %v\n", path, err)
 			os.Exit(1)
 		}
-		if err := srv.Register(name, m); err != nil {
+		v, err := srv.Register(name, m)
+		if err != nil {
 			fmt.Fprintln(os.Stderr, "lcrs-edge:", err)
 			os.Exit(1)
 		}
-		fmt.Printf("registered %s: %s (%d classes, tau %.4f)\n", name, hdr.Arch, hdr.Config.Classes, hdr.Tau)
+		fmt.Printf("registered %s: %s (%d classes, tau %.4f) version %s\n", name, hdr.Arch, hdr.Config.Classes, hdr.Tau, v)
+	}
+	for _, spec := range pf {
+		name, path, _ := strings.Cut(spec, "=")
+		if _, err := deployPack(srv, name, path); err != nil {
+			fmt.Fprintln(os.Stderr, "lcrs-edge:", err)
+			os.Exit(1)
+		}
+	}
+	if *watchPack > 0 {
+		go watchPacks(srv, pf, *watchPack)
+		fmt.Printf("watching %d pack file(s) every %v for hot-swaps\n", len(pf), *watchPack)
 	}
 
+	runServer(srv, *addr)
+}
+
+// deployPack opens the pack at path, stages it under name and activates
+// it. Re-deploying an unchanged pack is a no-op (same content, same
+// version); a changed one is a zero-downtime hot-swap.
+func deployPack(srv *edge.Server, name, path string) (string, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return "", err
+	}
+	p, err := modelio.OpenPack(data)
+	if err != nil {
+		return "", fmt.Errorf("open pack %s: %w", path, err)
+	}
+	v, err := srv.RegisterPack(name, p)
+	if err != nil {
+		return "", err
+	}
+	if err := srv.Activate(name, v); err != nil {
+		return "", err
+	}
+	label := ""
+	if p.Manifest.Label != "" {
+		label = " (" + p.Manifest.Label + ")"
+	}
+	fmt.Printf("deployed %s: %s (%d classes, tau %.4f) version %s%s\n",
+		name, p.Manifest.Arch, p.Manifest.Config.Classes, p.Manifest.Tau, v, label)
+	return v, nil
+}
+
+// watchPacks polls each -pack file's mtime and hot-swaps a changed pack
+// into the registry. Errors (a half-written file mid-copy, a corrupt
+// upload) are logged and retried at the next tick — the previous version
+// keeps serving untouched.
+func watchPacks(srv *edge.Server, packs []string, every time.Duration) {
+	mtimes := make(map[string]time.Time, len(packs))
+	for _, spec := range packs {
+		_, path, _ := strings.Cut(spec, "=")
+		if fi, err := os.Stat(path); err == nil {
+			mtimes[path] = fi.ModTime()
+		}
+	}
+	for range time.Tick(every) {
+		for _, spec := range packs {
+			name, path, _ := strings.Cut(spec, "=")
+			fi, err := os.Stat(path)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "lcrs-edge: watch %s: %v\n", path, err)
+				continue
+			}
+			if fi.ModTime().Equal(mtimes[path]) {
+				continue
+			}
+			if _, err := deployPack(srv, name, path); err != nil {
+				fmt.Fprintf(os.Stderr, "lcrs-edge: hot-swap %s: %v\n", path, err)
+				continue // keep the old mtime so the next tick retries
+			}
+			mtimes[path] = fi.ModTime()
+		}
+	}
+}
+
+// runServer serves until SIGINT/SIGTERM, then drains.
+func runServer(srv *edge.Server, addr string) {
 	hs := &http.Server{
-		Addr:              *addr,
+		Addr:              addr,
 		Handler:           srv.Handler(),
 		ReadHeaderTimeout: 10 * time.Second,
 	}
@@ -164,7 +256,7 @@ func main() {
 	defer stop()
 	errCh := make(chan error, 1)
 	go func() { errCh <- hs.ListenAndServe() }()
-	fmt.Printf("edge server listening on %s\n", *addr)
+	fmt.Printf("edge server listening on %s\n", addr)
 
 	select {
 	case err := <-errCh:

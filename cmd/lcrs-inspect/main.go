@@ -7,6 +7,7 @@
 // Usage:
 //
 //	lcrs-inspect -ckpt demo.lcrs
+//	lcrs-inspect -pack demo.lcpk          # deploy pack: manifest, version, sections
 //	lcrs-inspect -arch alexnet            # paper-size build, CIFAR10 shape
 //	lcrs-inspect -arch vgg16 -scale 0.25
 //	lcrs-inspect -server http://127.0.0.1:8080                 # /v1/exitstats
@@ -29,6 +30,7 @@ import (
 func main() {
 	var (
 		ckpt    = flag.String("ckpt", "", "checkpoint to inspect")
+		pack    = flag.String("pack", "", "deploy pack (.lcpk) to inspect: manifest, content version and section layout")
 		arch    = flag.String("arch", "", "architecture to build instead of loading a checkpoint")
 		scale   = flag.Float64("scale", 1, "width scale when building from -arch")
 		classes = flag.Int("classes", 10, "classes when building from -arch")
@@ -47,6 +49,12 @@ func main() {
 
 	var m *models.Composite
 	switch {
+	case *pack != "":
+		if err := inspectPack(*pack); err != nil {
+			fmt.Fprintln(os.Stderr, "lcrs-inspect:", err)
+			os.Exit(1)
+		}
+		return
 	case *ckpt != "":
 		f, err := os.Open(*ckpt)
 		if err != nil {
@@ -71,10 +79,44 @@ func main() {
 		}
 		m = built
 	default:
-		fmt.Fprintln(os.Stderr, "lcrs-inspect: one of -ckpt or -arch is required")
+		fmt.Fprintln(os.Stderr, "lcrs-inspect: one of -ckpt, -pack or -arch is required")
 		os.Exit(2)
 	}
 	fmt.Print(m.Summary())
+}
+
+// inspectPack verifies a deploy pack's digest and prints its manifest,
+// content-addressed version and section layout, then the packed model's
+// layer summary.
+func inspectPack(path string) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	p, err := modelio.OpenPack(data)
+	if err != nil {
+		return err
+	}
+	man := p.Manifest
+	fmt.Printf("pack: %s (%d bytes, digest verified)\n", path, len(data))
+	fmt.Printf("  version: %s (sha256 %s)\n", p.Version(), p.DigestHex())
+	fmt.Printf("  manifest: arch=%s classes=%d scale=%.2f tau=%.4f", man.Arch, man.Config.Classes, man.Config.WidthScale, man.Tau)
+	if man.Codec != "" {
+		fmt.Printf(" codec=%s", man.Codec)
+	}
+	if man.Label != "" {
+		fmt.Printf(" label=%q", man.Label)
+	}
+	fmt.Println()
+	secs, err := modelio.PackSections(data)
+	if err != nil {
+		return err
+	}
+	for _, s := range secs {
+		fmt.Printf("  section %-10s %d bytes\n", s.Name, s.Bytes)
+	}
+	fmt.Print(p.Model.Summary())
+	return nil
 }
 
 // inspectRemote renders one of the edge server's telemetry views.

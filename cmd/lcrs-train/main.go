@@ -7,6 +7,11 @@
 //
 //	lcrs-train -arch lenet -dataset mnist -out lenet-mnist.lcrs
 //	lcrs-train -arch resnet18 -dataset logos -scale 0.25 -epochs 12 -out webar.lcrs
+//	lcrs-train -arch lenet -dataset mnist -out lenet-mnist.lcrs -pack lenet-mnist.lcpk
+//
+// -pack additionally writes a single-file deploy pack: checkpoint, browser
+// bundle, screened tau and a manifest under one content digest, ready for
+// lcrs-edge -pack / -watch-pack zero-downtime deploys.
 package main
 
 import (
@@ -31,6 +36,8 @@ func main() {
 		scale   = flag.Float64("scale", 0.15, "width scale (1.0 = paper-size model)")
 		seed    = flag.Int64("seed", 1, "seed for data, init and shuffling")
 		out     = flag.String("out", "", "checkpoint output path (required)")
+		pack    = flag.String("pack", "", "also write a deploy pack (.lcpk) here: checkpoint + browser bundle + screened tau under one content digest")
+		label   = flag.String("label", "", "free-form label stored in the pack manifest (default: arch-dataset)")
 	)
 	flag.Parse()
 	if *out == "" {
@@ -92,4 +99,26 @@ func main() {
 		os.Exit(1)
 	}
 	fmt.Printf("checkpoint written to %s\n", *out)
+
+	if *pack != "" {
+		if *label == "" {
+			*label = *arch + "-" + *dsName
+		}
+		man := modelio.PackManifest{Arch: *arch, Config: cfg, Tau: tau, Label: *label}
+		data, err := modelio.EncodePack(man, m)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "lcrs-train:", err)
+			os.Exit(1)
+		}
+		if err := os.WriteFile(*pack, data, 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, "lcrs-train:", err)
+			os.Exit(1)
+		}
+		p, err := modelio.OpenPack(data)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "lcrs-train:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("deploy pack written to %s: version %s, %d bytes\n", *pack, p.Version(), len(data))
+	}
 }

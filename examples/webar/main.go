@@ -45,7 +45,7 @@ func main() {
 
 	// Edge server on a loopback listener (Figure 8's topology).
 	server := lcrs.NewEdgeServer()
-	if err := server.Register("webar", model); err != nil {
+	if _, err := server.Register("webar", model); err != nil {
 		log.Fatal(err)
 	}
 	ln, err := net.Listen("tcp", "127.0.0.1:0")

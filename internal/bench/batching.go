@@ -71,7 +71,7 @@ func (r *Runner) Batching() error {
 		if err != nil {
 			return nil, 0, err
 		}
-		if err := s.Register(arch, m); err != nil {
+		if _, err := s.Register(arch, m); err != nil {
 			return nil, 0, err
 		}
 		defer s.Close()

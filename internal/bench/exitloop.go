@@ -53,7 +53,7 @@ func (r *Runner) ExitLoop() error {
 		return err
 	}
 	defer s.Close()
-	if err := s.Register(arch, tm.model); err != nil {
+	if _, err := s.Register(arch, tm.model); err != nil {
 		return err
 	}
 	srv := httptest.NewServer(s.Handler())

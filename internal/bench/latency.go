@@ -187,7 +187,7 @@ func (r *Runner) Throughput() error {
 	if err != nil {
 		return err
 	}
-	if err := s.Register(arch, m); err != nil {
+	if _, err := s.Register(arch, m); err != nil {
 		return err
 	}
 	srv := httptest.NewServer(s.Handler())

@@ -113,7 +113,7 @@ func (r *Runner) stageSession(tm *trainedModel, arch string, n int, opts ...edge
 		return zero, 0, err
 	}
 	defer s.Close()
-	if err := s.Register(arch, tm.model); err != nil {
+	if _, err := s.Register(arch, tm.model); err != nil {
 		return zero, 0, err
 	}
 	srv := httptest.NewServer(s.Handler())

@@ -80,7 +80,7 @@ func (r *Runner) Streaming() error {
 		if err != nil {
 			return err
 		}
-		if err := s.Register(arch, tm.model); err != nil {
+		if _, err := s.Register(arch, tm.model); err != nil {
 			s.Close()
 			return err
 		}

@@ -19,6 +19,17 @@ import (
 // every response (generated server-side when the client sent none).
 const RequestIDHeader = "X-Request-ID"
 
+// ModelVersionHeader carries the content-addressed model version across
+// the collaboration boundary: the edge stamps it on every bundle, pack
+// and infer response (naming the version that served), and a client MAY
+// set it on infer requests to pin the version its downloaded binary
+// branch came from — the edge rejects with 409 Conflict when the active
+// version has moved on, because fusing a client-side binary branch with a
+// different server-side main branch silently breaks the paper's split
+// model. Defined here for the same reason as RequestIDHeader: both ends
+// of the wire must agree on the name.
+const ModelVersionHeader = "X-LCRS-Model-Version"
+
 // maxRequestIDLen bounds accepted IDs; longer ones are replaced, keeping
 // log lines and journal entries small even with a hostile client.
 const maxRequestIDLen = 64

@@ -177,6 +177,22 @@ func (c *answerCache) noteTau(tau float64) {
 	c.mu.Unlock()
 }
 
+// purge drops every cached answer unconditionally — the hot-swap drain
+// sweep (registry.go). Reuses the eviction accounting of the tau-push
+// sweep so the counters still tell the whole story; in-flight leaders are
+// untouched (their complete will insert into the fresh map, which is
+// correct: they compute on the entry being drained, and that entry is no
+// longer reachable from the request path).
+func (c *answerCache) purge() {
+	c.mu.Lock()
+	if n := c.lru.Len(); n > 0 {
+		c.lru.Init()
+		c.idx = make(map[collab.Key]*list.Element, c.cap)
+		c.evictions.Add(int64(n))
+	}
+	c.mu.Unlock()
+}
+
 // Len reports the number of cached answers (tests and stats).
 func (c *answerCache) Len() int {
 	c.mu.Lock()

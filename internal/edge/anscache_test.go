@@ -20,7 +20,7 @@ func cacheServer(t *testing.T, opts ...Option) (*Server, *entry, *httptest.Serve
 	t.Helper()
 	s := newServer(t, append([]Option{WithAnswerCache(8)}, opts...)...)
 	m := testModel(t)
-	if err := s.Register("demo", m); err != nil {
+	if _, err := s.Register("demo", m); err != nil {
 		t.Fatal(err)
 	}
 	e, ok := s.lookup("demo")

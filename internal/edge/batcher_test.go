@@ -53,7 +53,7 @@ func TestBatchedBitwiseIdenticalToUnbatched(t *testing.T) {
 
 	// Reference: a plain server with batching off.
 	plain := newServer(t)
-	if err := plain.Register("lenet-mnist", m); err != nil {
+	if _, err := plain.Register("lenet-mnist", m); err != nil {
 		t.Fatal(err)
 	}
 	psrv := httptest.NewServer(plain.Handler())
@@ -66,7 +66,7 @@ func TestBatchedBitwiseIdenticalToUnbatched(t *testing.T) {
 	// Batching server with a generous wait so the concurrent burst is
 	// guaranteed to coalesce rather than racing the deadline.
 	s := newServer(t, WithBatching(n, 500*time.Millisecond))
-	if err := s.Register("lenet-mnist", m); err != nil {
+	if _, err := s.Register("lenet-mnist", m); err != nil {
 		t.Fatal(err)
 	}
 	defer s.Close()
@@ -140,7 +140,7 @@ func TestBatchedBitwiseIdenticalToUnbatched(t *testing.T) {
 func TestBatcherDeadlineFiresForSingleRequest(t *testing.T) {
 	m := testModel(t)
 	s := newServer(t, WithBatching(8, 20*time.Millisecond))
-	if err := s.Register("lenet-mnist", m); err != nil {
+	if _, err := s.Register("lenet-mnist", m); err != nil {
 		t.Fatal(err)
 	}
 	defer s.Close()
@@ -172,7 +172,7 @@ func TestBatcherDeadlineFiresForSingleRequest(t *testing.T) {
 func TestBatcherOversizedRequestBypasses(t *testing.T) {
 	m := testModel(t)
 	s := newServer(t, WithBatching(2, 500*time.Millisecond))
-	if err := s.Register("lenet-mnist", m); err != nil {
+	if _, err := s.Register("lenet-mnist", m); err != nil {
 		t.Fatal(err)
 	}
 	defer s.Close()
@@ -211,7 +211,7 @@ func TestBatcherOversizedRequestBypasses(t *testing.T) {
 func TestBatcherCloseDrainsParkedRequests(t *testing.T) {
 	m := testModel(t)
 	s := newServer(t, WithBatching(64, 30*time.Second)) // nothing fills this; only Close can flush
-	if err := s.Register("lenet-mnist", m); err != nil {
+	if _, err := s.Register("lenet-mnist", m); err != nil {
 		t.Fatal(err)
 	}
 	srv := httptest.NewServer(s.Handler())

@@ -2,6 +2,8 @@ package edge
 
 import (
 	"bytes"
+	"errors"
+	"net/http"
 	"net/http/httptest"
 	"runtime"
 	"sync"
@@ -31,7 +33,7 @@ func inferFrame(t testing.TB, m *models.Composite, seed int64) []byte {
 
 func TestCloseIdempotentAndConcurrent(t *testing.T) {
 	s := newServer(t, WithBatching(8, DefaultBatchWait))
-	if err := s.Register("demo", testModel(t)); err != nil {
+	if _, err := s.Register("demo", testModel(t)); err != nil {
 		t.Fatal(err)
 	}
 	var wg sync.WaitGroup
@@ -46,38 +48,51 @@ func TestCloseIdempotentAndConcurrent(t *testing.T) {
 	s.Close() // and again, sequentially
 }
 
-// Registering after Close must serve without a batcher: otherwise the new
-// model's coalescing goroutine would outlive the (already completed)
-// shutdown and leak.
-func TestRegisterAfterCloseServesUnbatched(t *testing.T) {
+// Close is terminal: every registration and activation path afterwards
+// must reject with ErrServerClosed instead of growing serving state a
+// completed shutdown would never drain (the pre-versioning behavior was
+// to silently serve such models unbatched — a model that "works" in a
+// quick test and leaks goroutines in production).
+func TestRegisterAfterCloseRejected(t *testing.T) {
 	s := newServer(t, WithBatching(8, 30*time.Second)) // only Close could flush a batch
-	if err := s.Register("old", testModel(t)); err != nil {
+	m := testModel(t)
+	version, err := s.Register("old", m)
+	if err != nil {
 		t.Fatal(err)
 	}
 	s.Close()
 
 	before := runtime.NumGoroutine()
-	m := testModel(t)
-	if err := s.Register("fresh", m); err != nil {
-		t.Fatal(err)
+	if _, err := s.Register("fresh", m); !errors.Is(err, ErrServerClosed) {
+		t.Fatalf("Register after Close: got %v, want ErrServerClosed", err)
+	}
+	if _, err := s.RegisterVersion("fresh", m); !errors.Is(err, ErrServerClosed) {
+		t.Fatalf("RegisterVersion after Close: got %v, want ErrServerClosed", err)
+	}
+	if err := s.Activate("old", version); !errors.Is(err, ErrServerClosed) {
+		t.Fatalf("Activate after Close: got %v, want ErrServerClosed", err)
 	}
 	srv := httptest.NewServer(s.Handler())
 	defer srv.Close()
-
-	// With a 30s deadline and no batcher, only the direct path can answer
-	// promptly.
-	start := time.Now()
-	ir := postInfer(t, srv.URL+"/v1/infer/fresh", inferFrame(t, m, 31))
-	if elapsed := time.Since(start); elapsed > 10*time.Second {
-		t.Fatalf("post-Close registration still batching: request took %v", elapsed)
+	resp, err := http.Get(srv.URL + "/v1/bundle/fresh")
+	if err != nil {
+		t.Fatal(err)
 	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("rejected registration still serving: %d", resp.StatusCode)
+	}
+	// The pre-Close model keeps answering in-flight style traffic — Close
+	// drains batchers, it does not unhost models.
+	ir := postInfer(t, srv.URL+"/v1/infer/old", inferFrame(t, m, 31))
 	if len(ir.Probs) == 0 {
-		t.Fatal("empty response after Close+Register")
+		t.Fatal("pre-Close model stopped serving")
 	}
 	s.Close() // second Close: nothing to drain, must return immediately
 
-	// No collect loop may linger. Goroutine counts are noisy (httptest,
-	// finished handlers), so only fail on growth beyond that noise.
+	// The rejected registrations must not have spawned anything. Goroutine
+	// counts are noisy (httptest, finished handlers), so only fail on
+	// growth beyond that noise.
 	time.Sleep(50 * time.Millisecond)
 	if after := runtime.NumGoroutine(); after > before+10 {
 		t.Fatalf("goroutines grew from %d to %d after post-Close Register", before, after)
@@ -89,7 +104,7 @@ func TestRegisterAfterCloseServesUnbatched(t *testing.T) {
 func TestConcurrentCloseAndInfer(t *testing.T) {
 	s := newServer(t, WithBatching(4, time.Millisecond))
 	m := testModel(t)
-	if err := s.Register("demo", m); err != nil {
+	if _, err := s.Register("demo", m); err != nil {
 		t.Fatal(err)
 	}
 	srv := httptest.NewServer(s.Handler())

@@ -17,7 +17,7 @@ import (
 func TestInferCodecs(t *testing.T) {
 	s := newServer(t)
 	m := testModel(t)
-	if err := s.Register("lenet-mnist", m); err != nil {
+	if _, err := s.Register("lenet-mnist", m); err != nil {
 		t.Fatal(err)
 	}
 	srv := httptest.NewServer(s.Handler())
@@ -98,7 +98,7 @@ func TestCodecRestriction(t *testing.T) {
 	}
 	s := newServer(t, WithCodecs("f16"))
 	m := testModel(t)
-	if err := s.Register("lenet-mnist", m); err != nil {
+	if _, err := s.Register("lenet-mnist", m); err != nil {
 		t.Fatal(err)
 	}
 
@@ -144,7 +144,7 @@ func TestCodecRestriction(t *testing.T) {
 	}
 
 	// No arguments restores every codec.
-	if err := s.SetCodecs(); err != nil {
+	if err := s.setCodecs(); err != nil {
 		t.Fatal(err)
 	}
 	if code := post(collab.Q8); code != http.StatusOK {

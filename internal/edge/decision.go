@@ -158,7 +158,11 @@ func (s *Server) ExitStats() []ExitStats {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
 	out := make([]ExitStats, 0, len(s.entries))
-	for name, e := range s.entries {
+	for name, rec := range s.entries {
+		e := rec.active.Load()
+		if e == nil {
+			continue
+		}
 		d := &e.stats.decision
 		st := ExitStats{
 			Name:              name,

@@ -44,7 +44,7 @@ func telemetryFrame(t *testing.T, shared *tensor.Tensor, tel *collab.Telemetry) 
 func TestDecisionTelemetry(t *testing.T) {
 	s := newServer(t)
 	m := testModel(t)
-	if err := s.Register("demo", m); err != nil {
+	if _, err := s.Register("demo", m); err != nil {
 		t.Fatal(err)
 	}
 	srv := httptest.NewServer(s.Handler())
@@ -126,7 +126,7 @@ func TestDecisionTelemetry(t *testing.T) {
 func TestTelemetryBackwardCompat(t *testing.T) {
 	s := newServer(t)
 	m := testModel(t)
-	if err := s.Register("demo", m); err != nil {
+	if _, err := s.Register("demo", m); err != nil {
 		t.Fatal(err)
 	}
 	srv := httptest.NewServer(s.Handler())
@@ -182,7 +182,7 @@ func TestTelemetryBackwardCompat(t *testing.T) {
 func TestRequestJournal(t *testing.T) {
 	s := newServer(t, WithJournal(4))
 	m := testModel(t)
-	if err := s.Register("demo", m); err != nil {
+	if _, err := s.Register("demo", m); err != nil {
 		t.Fatal(err)
 	}
 	srv := httptest.NewServer(s.Handler())

@@ -5,20 +5,22 @@
 // confident (Algorithm 2, server side).
 //
 // Construct servers with New and functional options (WithReplicas,
-// WithBatching, WithCodecs, WithSlog, WithJournal, WithMetrics); the
-// mutable Set* methods remain only as deprecated wrappers. Serving state
-// is observable several ways: GET /v1/stats and GET /v1/exitstats return
-// per-model JSON counters and decision telemetry, GET /metrics serves the
-// same atomics plus per-stage latency histograms in the Prometheus text
-// format (DESIGN.md sections 10-11), and GET /v1/debug/requests lists the
-// most recent requests with their correlation IDs.
+// WithBatching, WithCodecs, WithSlog, WithJournal, WithMetrics). Models
+// are hosted through the versioned registry (registry.go): Register
+// stages and activates in one step, RegisterVersion/RegisterPack +
+// Activate split deploy from cutover for zero-downtime hot-swap and
+// rollback. Serving state is observable several ways: GET /v1/stats and
+// GET /v1/exitstats return per-model JSON counters and decision
+// telemetry, GET /metrics serves the same atomics plus per-stage latency
+// histograms in the Prometheus text format (DESIGN.md sections 10-11,
+// 15), and GET /v1/debug/requests lists the most recent requests with
+// their correlation IDs.
 package edge
 
 import (
 	"bytes"
 	"encoding/json"
 	"fmt"
-	"log"
 	"log/slog"
 	"net/http"
 	"runtime"
@@ -29,7 +31,6 @@ import (
 
 	"lcrs/internal/collab"
 	"lcrs/internal/exitpolicy"
-	"lcrs/internal/modelio"
 	"lcrs/internal/models"
 	"lcrs/internal/obs"
 	"lcrs/internal/tensor"
@@ -39,6 +40,10 @@ import (
 type InferResponse struct {
 	// Model echoes the model name.
 	Model string `json:"model"`
+	// Version is the content-addressed model version that computed this
+	// answer (also in the X-LCRS-Model-Version response header). During a
+	// hot-swap it tells the client exactly which weights served it.
+	Version string `json:"version,omitempty"`
 	// Pred is the predicted class index of the first sample.
 	Pred int `json:"pred"`
 	// Preds holds per-sample predictions when the request carried a batch.
@@ -84,11 +89,32 @@ type ModelInfo struct {
 	InH         int      `json:"in_h"`
 	InW         int      `json:"in_w"`
 	Codecs      []string `json:"codecs"`
+	// Version is the active (served) version; empty while the model is
+	// staged but not yet activated. Versions lists every staged version in
+	// registration order — the A/B inventory.
+	Version  string   `json:"version,omitempty"`
+	Versions []string `json:"versions,omitempty"`
+	// HasPack reports whether the active version carries its raw deploy
+	// artifact, i.e. GET /v1/pack/{name} will serve it.
+	HasPack bool `json:"has_pack,omitempty"`
 }
 
+// entry is the complete serving state of ONE activated model version.
+// Requests resolve an entry once (lookup's atomic load) and hold it for
+// their whole life, so every component hanging off it — replica pool,
+// batcher, answer cache, tau controller — belongs to exactly one version
+// and a hot-swap can never mix versions inside a batch or a cache.
 type entry struct {
-	model  *models.Composite
-	bundle []byte
+	// version is the content-addressed version string; etag is its quoted
+	// form, the strong ETag of /v1/bundle and /v1/pack responses.
+	version string
+	etag    string
+	model   *models.Composite
+	bundle  []byte
+	// pack is the raw deploy artifact when this version arrived via
+	// RegisterPack (served at /v1/pack/{name}); nil for in-process
+	// registrations.
+	pack []byte
 	// replicas is a bounded pool of eval-mode forward contexts: clones of
 	// model that share every parameter tensor but own private per-layer
 	// scratch buffers (models.Composite.CloneForInference). A request
@@ -178,7 +204,12 @@ func (s *modelStats) observeBatch(n int) { s.batchSize.Observe(float64(n)) }
 
 // ModelStats is the JSON form of one model's serving counters.
 type ModelStats struct {
-	Name            string `json:"name"`
+	Name string `json:"name"`
+	// Version is the active version whose entry these counters were read
+	// from; metric series survive hot-swaps (same name+label → same
+	// atomics), so the counters span versions while Version names the one
+	// serving now.
+	Version         string `json:"version,omitempty"`
 	InferRequests   int64  `json:"infer_requests"`
 	InferErrors     int64  `json:"infer_errors"`
 	BundleDownloads int64  `json:"bundle_downloads"`
@@ -219,11 +250,22 @@ type HistBucket struct {
 	Count int64 `json:"count"`
 }
 
-// Server hosts models behind an http.Handler.
+// Server hosts versioned models behind an http.Handler.
+//
+// Lifecycle: configure with New(options...), host models with Register
+// (or RegisterVersion/RegisterPack + Activate), serve Handler, and Close
+// exactly once traffic should stop. Close drains every active batcher —
+// parked requests flush through one final forward — and is idempotent and
+// safe against concurrent requests, but it is terminal: Register,
+// RegisterVersion, RegisterPack and Activate all return ErrServerClosed
+// afterwards, so a model can never start serving (unbatched, with
+// goroutines past shutdown) on a server that already drained.
 type Server struct {
-	mu       sync.RWMutex
-	entries  map[string]*entry
-	logger   *slog.Logger
+	mu sync.RWMutex
+	// entries maps model name → versioned record (registry.go); the record
+	// holds every staged version and the atomically swappable active entry.
+	entries map[string]*modelRec
+	logger  *slog.Logger
 	journal  *journal
 	replicas int
 	// batchMax/batchWait configure micro-batching for subsequently
@@ -244,50 +286,9 @@ type Server struct {
 	// answerCap, when positive (WithAnswerCache), gives every subsequently
 	// registered model a content-addressed answer cache of that capacity.
 	answerCap int
-	// closed is set by Close; models registered afterwards are served
-	// without a batcher so no coalescing goroutine outlives shutdown.
+	// closed is set by Close; registration and activation reject with
+	// ErrServerClosed afterwards so no serving state outlives shutdown.
 	closed bool
-}
-
-// NewServer creates an empty edge server.
-//
-// Deprecated: use New, which applies configuration through functional
-// options before any model can be registered.
-func NewServer() *Server {
-	s, _ := New() // no options: cannot fail
-	return s
-}
-
-// SetLogger enables per-request logging through a legacy *log.Logger.
-// Pass nil to disable. Set before serving; not synchronized with requests.
-//
-// Deprecated: use New(WithSlog(l)) for structured logs, or
-// New(WithLogger(l)) to adapt an existing *log.Logger.
-func (s *Server) SetLogger(l *log.Logger) {
-	if l == nil {
-		s.logger = nil
-		return
-	}
-	s.logger = slogFromLegacy(l)
-}
-
-// slogFromLegacy adapts a *log.Logger into a structured logger writing
-// key=value text lines to the same destination.
-func slogFromLegacy(l *log.Logger) *slog.Logger {
-	return slog.New(slog.NewTextHandler(l.Writer(), nil))
-}
-
-// SetReplicas sets the forward-context pool size used by subsequent
-// Register calls. n <= 0 restores the default, runtime.NumCPU(). Larger
-// pools admit more concurrent inferences at the cost of one set of scratch
-// buffers each; already-registered models are unaffected.
-//
-// Deprecated: use New(WithReplicas(n)), which cannot be misordered
-// against Register.
-func (s *Server) SetReplicas(n int) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	s.replicas = n
 }
 
 // replicasFor returns the configured pool size, defaulting to NumCPU.
@@ -296,15 +297,6 @@ func (s *Server) replicasFor() int {
 		return s.replicas
 	}
 	return runtime.NumCPU()
-}
-
-// SetBatching enables dynamic cross-request micro-batching for models
-// registered afterwards; see WithBatching for the semantics.
-//
-// Deprecated: use New(WithBatching(max, wait)), which cannot be
-// misordered against Register.
-func (s *Server) SetBatching(max int, wait time.Duration) {
-	s.setBatching(max, wait)
 }
 
 func (s *Server) setBatching(max int, wait time.Duration) {
@@ -317,19 +309,19 @@ func (s *Server) setBatching(max int, wait time.Duration) {
 	s.batchWait = wait
 }
 
-// Close stops every model's batcher, flushing parked requests through a
-// final batched forward each. Requests that race with shutdown fall back
-// to the direct per-request path, so in-flight HTTP handlers always get
-// an answer; requests arriving after Close are served unbatched. Close is
-// idempotent and safe to call concurrently with requests; models
-// registered after Close never get a batcher, so repeated Close calls
-// cannot leave a coalescing goroutine behind.
+// Close stops every active version's batcher, flushing parked requests
+// through a final batched forward each. Requests that race with shutdown
+// fall back to the direct per-request path, so in-flight HTTP handlers
+// always get an answer. Close is idempotent and safe to call concurrently
+// with requests, and terminal: subsequent Register/RegisterVersion/
+// RegisterPack/Activate calls return ErrServerClosed (see the Server
+// lifecycle doc).
 func (s *Server) Close() {
 	s.mu.Lock()
 	s.closed = true
 	var closing []*batcher
-	for _, e := range s.entries {
-		if e.batcher != nil {
+	for _, rec := range s.entries {
+		if e := rec.active.Load(); e != nil && e.batcher != nil {
 			closing = append(closing, e.batcher)
 		}
 	}
@@ -337,17 +329,6 @@ func (s *Server) Close() {
 	for _, b := range closing {
 		b.close()
 	}
-}
-
-// SetCodecs restricts the offload wire codecs the server accepts (and
-// advertises) to the named ones. The raw codec is always accepted so v1
-// clients keep working. Passing no names restores the default: every
-// codec internal/collab supports.
-//
-// Deprecated: use New(WithCodecs(names...)); SetCodecs remains for
-// runtime re-negotiation scenarios and tests.
-func (s *Server) SetCodecs(names ...string) error {
-	return s.setCodecs(names...)
 }
 
 func (s *Server) setCodecs(names ...string) error {
@@ -395,109 +376,54 @@ func (s *Server) codecNamesLocked() []string {
 // expose it elsewhere or add their own metrics to it.
 func (s *Server) Metrics() *obs.Registry { return s.metrics }
 
-// Register adds a trained model under the given name, precomputing its
-// browser bundle and building the inference replica pool. Registering the
-// same name twice replaces the model; its metric series continue (counters
-// must never go backwards).
-func (s *Server) Register(name string, m *models.Composite) error {
-	if name == "" || strings.ContainsAny(name, "/ ") {
-		return fmt.Errorf("edge: invalid model name %q", name)
-	}
-	bundle, err := modelio.EncodeBrowserBundle(m)
-	if err != nil {
-		return fmt.Errorf("edge: bundle %s: %w", name, err)
-	}
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	// Every replica is a clone; the caller's model is never used to serve,
-	// so callers may keep running local forward passes on it while the
-	// server is live (tests and training loops do).
-	n := s.replicasFor()
-	pool := make(chan *models.Composite, n)
-	for i := 0; i < n; i++ {
-		// Serving replicas draw per-request scratch from a private bump
-		// arena. Warming for the largest batch the replica will ever see
-		// drives every slab to its high-water mark, so steady-state
-		// forwards allocate nothing (the CI allocs budget test pins this).
-		r := m.CloneForServing()
-		warm := s.batchMax
-		if warm < 1 {
-			warm = 1
-		}
-		r.WarmMainRest(warm)
-		r.ResetScratch()
-		pool <- r
-	}
-	e := &entry{model: m, bundle: bundle, replicas: pool, stats: newModelStats(s.metrics, name)}
-	if s.tauCfg != nil {
-		// Config was validated by WithTauControl, so construction cannot
-		// fail; a fresh controller per registration means a hot-swapped
-		// model re-seeds from its own clients' screened tau.
-		ctrl, err := newTauControl(s.metrics, name, *s.tauCfg)
-		if err != nil {
-			return fmt.Errorf("edge: tau controller for %s: %w", name, err)
-		}
-		e.ctrl = ctrl
-	}
-	if s.answerCap > 0 {
-		// Like batcher: written once before the entry is published, read by
-		// handlers without further synchronization. A fresh cache per
-		// registration means a hot-swapped model never serves answers
-		// computed by the weights it replaced.
-		e.cache = newAnswerCache(s.answerCap, e.stats.CacheEvictions)
-	}
-	if s.batchMax > 1 && !s.closed {
-		// The batcher is written exactly once, before the entry is
-		// published; handlers read it without further synchronization.
-		e.batcher = newBatcher(e, s.batchMax, s.batchWait)
-	}
-	if old := s.entries[name]; old != nil && old.batcher != nil {
-		// Replacing a model: release the superseded batcher's goroutine.
-		go old.batcher.close()
-	}
-	s.entries[name] = e
-	if s.logger != nil {
-		s.logger.Info("model registered", "model", name, "arch", m.Name,
-			"bundle_bytes", len(bundle), "replicas", n, "batching", e.batcher != nil)
-	}
-	return nil
-}
-
-// Models lists hosted models sorted by registration map order.
+// Models lists hosted models sorted by registration map order. A model
+// whose versions are all staged (never activated) is listed from its most
+// recently staged version with an empty active Version.
 func (s *Server) Models() []ModelInfo {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
 	codecs := s.codecNamesLocked()
 	var out []ModelInfo
-	for name, e := range s.entries {
-		out = append(out, ModelInfo{
-			Name: name, Arch: e.model.Name, Classes: e.model.Cfg.Classes,
-			BundleBytes: len(e.bundle),
-			InC:         e.model.Cfg.InC, InH: e.model.Cfg.InH, InW: e.model.Cfg.InW,
-			Codecs: codecs,
-		})
+	for name, rec := range s.entries {
+		info := ModelInfo{
+			Name:     name,
+			Codecs:   codecs,
+			Versions: append([]string(nil), rec.order...),
+		}
+		if e := rec.active.Load(); e != nil {
+			info.Arch, info.Classes = e.model.Name, e.model.Cfg.Classes
+			info.InC, info.InH, info.InW = e.model.Cfg.InC, e.model.Cfg.InH, e.model.Cfg.InW
+			info.BundleBytes = len(e.bundle)
+			info.Version = e.version
+			info.HasPack = len(e.pack) > 0
+		} else if len(rec.order) > 0 {
+			st := rec.versions[rec.order[len(rec.order)-1]]
+			info.Arch, info.Classes = st.model.Name, st.model.Cfg.Classes
+			info.InC, info.InH, info.InW = st.model.Cfg.InC, st.model.Cfg.InH, st.model.Cfg.InW
+			info.BundleBytes = len(st.bundle)
+		}
+		out = append(out, info)
 	}
 	return out
-}
-
-func (s *Server) lookup(name string) (*entry, bool) {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	e, ok := s.entries[name]
-	return e, ok
 }
 
 // Stats snapshots per-model serving counters. Counters are read with
 // atomic loads, so a snapshot taken under load is per-field consistent,
 // and the values are the same atomics /metrics exposes, so the two views
-// reconcile by construction.
+// reconcile by construction. Models without an activated version are
+// omitted — they have never served.
 func (s *Server) Stats() []ModelStats {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
 	var out []ModelStats
-	for name, e := range s.entries {
+	for name, rec := range s.entries {
+		e := rec.active.Load()
+		if e == nil {
+			continue
+		}
 		st := ModelStats{
 			Name:              name,
+			Version:           e.version,
 			InferRequests:     e.stats.InferRequests.Value(),
 			InferErrors:       e.stats.InferErrors.Value(),
 			BundleDownloads:   e.stats.BundleDownloads.Value(),
@@ -540,9 +466,18 @@ func (s *Server) Stats() []ModelStats {
 //	GET  /v1/stats           JSON per-model serving counters
 //	GET  /v1/exitstats       JSON per-model decision telemetry
 //	GET  /v1/debug/requests  recent requests from the journal, newest first
-//	GET  /v1/bundle/{name}   browser bundle for a model
+//	GET  /v1/bundle/{name}   browser bundle of the active version
+//	GET  /v1/pack/{name}     raw deploy pack of the active version
 //	POST /v1/infer/{name}    tensor frame in, InferResponse out
 //	GET  /metrics            Prometheus text exposition
+//
+// Bundle and pack responses carry a strong ETag (the quoted model
+// version) and an X-LCRS-Model-Version header, and honor If-None-Match
+// and Range: a client revalidating an unchanged bundle gets 304 with zero
+// body bytes, and an interrupted pack download resumes with 206. Infer
+// responses echo the serving version the same way; a request that pins a
+// version via X-LCRS-Model-Version is rejected with 409 when the active
+// version differs (the client re-syncs its bundle first).
 //
 // Every response carries an X-Request-ID header; access logging (when a
 // logger is configured) and the request journal hang off the same
@@ -583,12 +518,38 @@ func (s *Server) Handler() http.Handler {
 			return
 		}
 		e.stats.BundleDownloads.Inc()
-		w.Header().Set("Content-Type", "application/octet-stream")
-		w.Header().Set("Content-Length", fmt.Sprint(len(e.bundle)))
-		w.Write(e.bundle)
+		s.serveVersioned(w, r, e, e.bundle)
+	})
+	mux.HandleFunc("/v1/pack/", func(w http.ResponseWriter, r *http.Request) {
+		name := strings.TrimPrefix(r.URL.Path, "/v1/pack/")
+		e, ok := s.lookup(name)
+		if !ok {
+			http.Error(w, fmt.Sprintf("unknown model %q", name), http.StatusNotFound)
+			return
+		}
+		if len(e.pack) == 0 {
+			http.Error(w, fmt.Sprintf("model %q was registered in-process; no pack artifact", name),
+				http.StatusNotFound)
+			return
+		}
+		s.serveVersioned(w, r, e, e.pack)
 	})
 	mux.HandleFunc("/v1/infer/", s.handleInfer)
 	return s.traced(mux)
+}
+
+// serveVersioned serves a version-addressed immutable blob (bundle or
+// pack) with the full conditional/range repertoire: the entry's quoted
+// version is the strong ETag, so http.ServeContent answers If-None-Match
+// revalidations with a bodyless 304 and Range requests with 206 — the
+// single-packed-file + etag discipline of htpack applied to model
+// artifacts. The zero modtime suppresses Last-Modified: version identity
+// is content, never wall clock.
+func (s *Server) serveVersioned(w http.ResponseWriter, r *http.Request, e *entry, blob []byte) {
+	w.Header().Set("ETag", e.etag)
+	w.Header().Set(collab.ModelVersionHeader, e.version)
+	w.Header().Set("Content-Type", "application/octet-stream")
+	http.ServeContent(w, r, "", time.Time{}, bytes.NewReader(blob))
 }
 
 // handleInfer serves one offloaded inference, tracing every stage of the
@@ -602,6 +563,17 @@ func (s *Server) handleInfer(w http.ResponseWriter, r *http.Request) {
 	e, ok := s.lookup(name)
 	if !ok {
 		http.Error(w, fmt.Sprintf("unknown model %q", name), http.StatusNotFound)
+		return
+	}
+	if pin := r.Header.Get(collab.ModelVersionHeader); pin != "" && pin != e.version {
+		// The client pinned the version its binary branch was downloaded
+		// from, and a hot-swap has moved the edge past it: the intermediate
+		// tensor was computed by a shared prefix that no longer matches the
+		// serving weights. Reject so the client re-syncs its bundle instead
+		// of fusing mismatched halves.
+		w.Header().Set(collab.ModelVersionHeader, e.version)
+		http.Error(w, fmt.Sprintf("model %q is now version %s (request pinned %s); revalidate the bundle",
+			name, e.version, pin), http.StatusConflict)
 		return
 	}
 	info := reqInfoFrom(r.Context())
@@ -695,6 +667,7 @@ func (s *Server) handleInfer(w http.ResponseWriter, r *http.Request) {
 	} else {
 		resp = computeInfer(name, e, t, &tr)
 	}
+	resp.Version = e.version
 	if c, cerr := collab.CodecByID(codecID); cerr == nil {
 		resp.Codec = c.Name()
 	}
@@ -743,6 +716,7 @@ func (s *Server) handleInfer(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	w.Header().Set("Content-Type", "application/json")
+	w.Header().Set(collab.ModelVersionHeader, e.version)
 	writeStart := time.Now()
 	_, writeErr := w.Write(buf.Bytes())
 	tr.stages[stageWrite] = time.Since(writeStart)

@@ -39,11 +39,11 @@ func TestRegisterValidation(t *testing.T) {
 	s := newServer(t)
 	m := testModel(t)
 	for _, bad := range []string{"", "a/b", "a b"} {
-		if err := s.Register(bad, m); err == nil {
+		if _, err := s.Register(bad, m); err == nil {
 			t.Errorf("Register(%q) accepted", bad)
 		}
 	}
-	if err := s.Register("lenet-mnist", m); err != nil {
+	if _, err := s.Register("lenet-mnist", m); err != nil {
 		t.Fatal(err)
 	}
 	infos := s.Models()
@@ -58,7 +58,7 @@ func TestRegisterValidation(t *testing.T) {
 func TestHTTPEndpoints(t *testing.T) {
 	s := newServer(t)
 	m := testModel(t)
-	if err := s.Register("lenet-mnist", m); err != nil {
+	if _, err := s.Register("lenet-mnist", m); err != nil {
 		t.Fatal(err)
 	}
 	srv := httptest.NewServer(s.Handler())
@@ -163,7 +163,7 @@ func TestHTTPEndpoints(t *testing.T) {
 func TestConcurrentInference(t *testing.T) {
 	s := newServer(t)
 	m := testModel(t)
-	if err := s.Register("lenet-mnist", m); err != nil {
+	if _, err := s.Register("lenet-mnist", m); err != nil {
 		t.Fatal(err)
 	}
 	srv := httptest.NewServer(s.Handler())

@@ -27,7 +27,7 @@ func TestInferFusedBitwiseMatchesLegacyUnderLoad(t *testing.T) {
 	}
 	s := newServer(t, WithBatching(4, 0), WithReplicas(2))
 	m := testModel(t)
-	if err := s.Register("lenet-mnist", m); err != nil {
+	if _, err := s.Register("lenet-mnist", m); err != nil {
 		t.Fatal(err)
 	}
 	defer s.Close()

@@ -2,7 +2,6 @@ package edge
 
 import (
 	"encoding/json"
-	"log"
 	"log/slog"
 	"net/http"
 	"net/http/httptest"
@@ -17,7 +16,7 @@ func TestRequestLogging(t *testing.T) {
 	var sb strings.Builder
 	s := newServer(t, WithSlog(slog.New(slog.NewTextHandler(&sb, nil))))
 	m := testModel(t)
-	if err := s.Register("demo", m); err != nil {
+	if _, err := s.Register("demo", m); err != nil {
 		t.Fatal(err)
 	}
 	srv := httptest.NewServer(s.Handler())
@@ -51,8 +50,11 @@ func TestRequestLogging(t *testing.T) {
 	}
 
 	out := sb.String()
-	if !strings.Contains(out, "msg=\"model registered\" model=demo") {
-		t.Fatalf("missing registration event log:\n%s", out)
+	if !strings.Contains(out, "msg=\"model version staged\" model=demo") {
+		t.Fatalf("missing staging event log:\n%s", out)
+	}
+	if !strings.Contains(out, "msg=\"model version activated\" model=demo") {
+		t.Fatalf("missing activation event log:\n%s", out)
 	}
 	if !strings.Contains(out, "id=probe-1 method=GET path=/v1/healthz status=200") {
 		t.Fatalf("missing success log line with propagated ID:\n%s", out)
@@ -65,34 +67,6 @@ func TestRequestLogging(t *testing.T) {
 	}
 	if n := strings.Count(out, "msg=request"); n != 3 {
 		t.Fatalf("each request must log exactly once; %d lines for 3 requests:\n%s", n, out)
-	}
-}
-
-// The deprecated *log.Logger paths still produce (now structured) logs.
-func TestLegacyLoggerShim(t *testing.T) {
-	var sb strings.Builder
-	s := newServer(t, WithLogger(log.New(&sb, "", 0)))
-	srv := httptest.NewServer(s.Handler())
-	defer srv.Close()
-	resp, err := http.Get(srv.URL + "/v1/healthz")
-	if err != nil {
-		t.Fatal(err)
-	}
-	resp.Body.Close()
-	if !strings.Contains(sb.String(), "path=/v1/healthz status=200") {
-		t.Fatalf("legacy logger saw no access log:\n%s", sb.String())
-	}
-	sb.Reset()
-	s2 := newServer(t)
-	s2.SetLogger(log.New(&sb, "", 0))
-	srv2 := httptest.NewServer(s2.Handler())
-	defer srv2.Close()
-	if resp, err = http.Get(srv2.URL + "/v1/healthz"); err != nil {
-		t.Fatal(err)
-	}
-	resp.Body.Close()
-	if !strings.Contains(sb.String(), "path=/v1/healthz status=200") {
-		t.Fatalf("SetLogger shim saw no access log:\n%s", sb.String())
 	}
 }
 
@@ -127,11 +101,11 @@ func TestJSONRequestLogging(t *testing.T) {
 func TestRegisterReplacesModel(t *testing.T) {
 	s := newServer(t)
 	m := testModel(t)
-	if err := s.Register("demo", m); err != nil {
+	if _, err := s.Register("demo", m); err != nil {
 		t.Fatal(err)
 	}
 	before := s.Models()[0].BundleBytes
-	if err := s.Register("demo", m); err != nil {
+	if _, err := s.Register("demo", m); err != nil {
 		t.Fatal(err)
 	}
 	infos := s.Models()

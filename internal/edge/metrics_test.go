@@ -116,7 +116,7 @@ func scrape(t *testing.T, url string) map[string]float64 {
 func TestMetricsExposition(t *testing.T) {
 	s := newServer(t)
 	m := testModel(t)
-	if err := s.Register("demo", m); err != nil {
+	if _, err := s.Register("demo", m); err != nil {
 		t.Fatal(err)
 	}
 	srv := httptest.NewServer(s.Handler())
@@ -249,7 +249,7 @@ func TestMetricsExposition(t *testing.T) {
 func TestMetricsBatchedPath(t *testing.T) {
 	s := newServer(t, WithBatching(4, DefaultBatchWait))
 	m := testModel(t)
-	if err := s.Register("demo", m); err != nil {
+	if _, err := s.Register("demo", m); err != nil {
 		t.Fatal(err)
 	}
 	defer s.Close()
@@ -301,10 +301,10 @@ func TestSharedMetricsRegistry(t *testing.T) {
 	a := newServer(t, WithMetrics(reg))
 	b := newServer(t, WithMetrics(reg))
 	m := testModel(t)
-	if err := a.Register("left", m); err != nil {
+	if _, err := a.Register("left", m); err != nil {
 		t.Fatal(err)
 	}
-	if err := b.Register("right", m); err != nil {
+	if _, err := b.Register("right", m); err != nil {
 		t.Fatal(err)
 	}
 	var sb strings.Builder

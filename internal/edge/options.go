@@ -2,7 +2,6 @@ package edge
 
 import (
 	"fmt"
-	"log"
 	"log/slog"
 	"time"
 
@@ -35,7 +34,7 @@ type Option func(*Server) error
 // GET /metrics.
 func New(opts ...Option) (*Server, error) {
 	s := &Server{
-		entries: map[string]*entry{},
+		entries: map[string]*modelRec{},
 		metrics: obs.NewRegistry(),
 		journal: newJournal(DefaultJournalSize),
 	}
@@ -86,22 +85,6 @@ func WithCodecs(names ...string) Option {
 func WithSlog(l *slog.Logger) Option {
 	return func(s *Server) error {
 		s.logger = l
-		return nil
-	}
-}
-
-// WithLogger enables per-request logging through a legacy *log.Logger,
-// adapted to the structured key=value format. A nil logger disables
-// logging, the default.
-//
-// Deprecated: use WithSlog.
-func WithLogger(l *log.Logger) Option {
-	return func(s *Server) error {
-		if l == nil {
-			s.logger = nil
-			return nil
-		}
-		s.logger = slogFromLegacy(l)
 		return nil
 	}
 }

@@ -14,7 +14,7 @@ import (
 func TestStatsCounters(t *testing.T) {
 	s := newServer(t)
 	m := testModel(t)
-	if err := s.Register("demo", m); err != nil {
+	if _, err := s.Register("demo", m); err != nil {
 		t.Fatal(err)
 	}
 	srv := httptest.NewServer(s.Handler())

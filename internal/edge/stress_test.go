@@ -29,7 +29,7 @@ func TestStressConcurrentInference(t *testing.T) {
 
 	s := newServer(t, WithReplicas(poolSize))
 	m := testModel(t)
-	if err := s.Register("lenet-mnist", m); err != nil {
+	if _, err := s.Register("lenet-mnist", m); err != nil {
 		t.Fatal(err)
 	}
 	srv := httptest.NewServer(s.Handler())
@@ -101,7 +101,7 @@ func TestStressConcurrentInference(t *testing.T) {
 func TestReplicaPoolBounded(t *testing.T) {
 	s := newServer(t, WithReplicas(2))
 	m := testModel(t)
-	if err := s.Register("demo", m); err != nil {
+	if _, err := s.Register("demo", m); err != nil {
 		t.Fatal(err)
 	}
 	e, ok := s.lookup("demo")

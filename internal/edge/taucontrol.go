@@ -69,6 +69,16 @@ func newTauControl(reg *obs.Registry, model string, cfg exitpolicy.Config) (*tau
 	return tc, nil
 }
 
+// seed offers tau as the controller's starting threshold (first-wins,
+// like a client-reported tau): adopted only if nothing seeded it earlier.
+// Used by Activate to adopt a pack manifest's screened tau, so a deployed
+// threshold starts pushing to clients before the first telemetry frame.
+func (tc *tauControl) seed(tau float64) {
+	if tc.ctrl.Seed(tau) {
+		tc.current.Set(tc.ctrl.Tau())
+	}
+}
+
 // observe feeds one successful inference into the controller and returns
 // the tau to echo in the response (ok false while the controller is
 // still waiting to adopt its first client-reported tau). tel may be nil

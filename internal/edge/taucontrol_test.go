@@ -24,7 +24,7 @@ func tauControlServer(t *testing.T) (*Server, *httptest.Server, *tensor.Tensor) 
 		AdoptClientTau: true,
 	}))
 	m := testModel(t)
-	if err := s.Register("demo", m); err != nil {
+	if _, err := s.Register("demo", m); err != nil {
 		t.Fatal(err)
 	}
 	srv := httptest.NewServer(s.Handler())
@@ -134,7 +134,7 @@ func TestTauControlHysteresis(t *testing.T) {
 func TestNoTauWithoutController(t *testing.T) {
 	s := newServer(t)
 	m := testModel(t)
-	if err := s.Register("demo", m); err != nil {
+	if _, err := s.Register("demo", m); err != nil {
 		t.Fatal(err)
 	}
 	srv := httptest.NewServer(s.Handler())
@@ -172,7 +172,7 @@ func TestTauControlReRegister(t *testing.T) {
 		t.Fatalf("updates before swap = %v, want 1", got)
 	}
 
-	if err := s.Register("demo", testModel(t)); err != nil {
+	if _, err := s.Register("demo", testModel(t)); err != nil {
 		t.Fatal(err)
 	}
 	var stats []ExitStats

@@ -32,7 +32,7 @@ func BenchmarkTracedInfer(b *testing.B) {
 		b.Fatal(err)
 	}
 	m := testModel(b)
-	if err := s.Register("demo", m); err != nil {
+	if _, err := s.Register("demo", m); err != nil {
 		b.Fatal(err)
 	}
 	h := s.Handler()

@@ -77,5 +77,12 @@ func (c *sessionCache) put(key collab.Key, pred int) {
 	c.idx[key] = c.lru.PushFront(&cacheEntry{key: key, pred: pred})
 }
 
+// clear drops every cached answer — called when RevalidateBundle installs
+// a new model version, whose answers the old entries no longer represent.
+func (c *sessionCache) clear() {
+	c.lru.Init()
+	c.idx = make(map[collab.Key]*list.Element, c.cap)
+}
+
 // Len reports the number of cached answers.
 func (c *sessionCache) Len() int { return c.lru.Len() }

@@ -22,7 +22,7 @@ func cacheClient(t *testing.T, tau float64, opts ...Option) (*Client, *edge.Serv
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := s.Register("lenet-mnist", m); err != nil {
+	if _, err := s.Register("lenet-mnist", m); err != nil {
 		t.Fatal(err)
 	}
 	var outage atomic.Bool

@@ -25,7 +25,7 @@ func TestRecognizeWithQ8Codec(t *testing.T) {
 		t.Fatalf("raw payload bytes = %d", rawRes.PayloadBytes)
 	}
 
-	if err := c.SetCodec("q8"); err != nil {
+	if err := c.setCodec("q8"); err != nil {
 		t.Fatal(err)
 	}
 	if c.Codec() != "q8" {
@@ -44,7 +44,7 @@ func TestRecognizeWithQ8Codec(t *testing.T) {
 		t.Fatalf("q8 pred %d, raw pred %d", q8Res.Pred, rawRes.Pred)
 	}
 
-	if err := c.SetCodec("zstd"); err == nil {
+	if err := c.setCodec("zstd"); err == nil {
 		t.Fatal("SetCodec accepted unknown codec")
 	}
 }
@@ -54,7 +54,7 @@ func TestRecognizeWithQ8Codec(t *testing.T) {
 func TestRecognizeBatchWithCodec(t *testing.T) {
 	c, _, test, done := trainServeClient(t, 0.0) // never exit
 	defer done()
-	if err := c.SetCodec("f16"); err != nil {
+	if err := c.setCodec("f16"); err != nil {
 		t.Fatal(err)
 	}
 	n := 4
@@ -82,7 +82,7 @@ func TestNegotiateCodec(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := s.Register("lenet-mnist", m); err != nil {
+	if _, err := s.Register("lenet-mnist", m); err != nil {
 		t.Fatal(err)
 	}
 	srv := httptest.NewServer(s.Handler())

@@ -64,7 +64,7 @@ func TestRecognizeUnderConcurrentEdgeLoad(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := s.Register("lenet-mnist", m); err != nil {
+	if _, err := s.Register("lenet-mnist", m); err != nil {
 		t.Fatal(err)
 	}
 	srv := httptest.NewServer(s.Handler())

@@ -135,6 +135,21 @@ func WithRevalidateEvery(k int) Option {
 	}
 }
 
+// WithVersionPin makes every offload carry the loaded bundle's version in
+// the X-LCRS-Model-Version header. The edge rejects with 409 Conflict
+// when its active version differs — Recognize then returns an error
+// wrapping ErrVersionConflict instead of an answer computed by fusing
+// this client's binary branch with main-branch weights from a different
+// training run. Recover with RevalidateBundle and retry. Off by default:
+// an unpinned client accepts cross-version answers during a hot-swap and
+// learns about the swap from Result.BundleStale.
+func WithVersionPin(enabled bool) Option {
+	return func(c *Client) error {
+		c.pinVersion = enabled
+		return nil
+	}
+}
+
 // WithTimeout bounds every HTTP request (bundle download and inference)
 // to d; d <= 0 is rejected. Options apply in order, so place WithTimeout
 // after WithHTTPClient to override that client's timeout — the caller's

@@ -90,7 +90,7 @@ func TestRefundExitsOnFailedOffload(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := s2.Register("lenet-mnist", m); err != nil {
+	if _, err := s2.Register("lenet-mnist", m); err != nil {
 		t.Fatal(err)
 	}
 	mux := http.NewServeMux()

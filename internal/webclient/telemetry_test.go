@@ -22,7 +22,7 @@ func TestDecisionTelemetryEndToEnd(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := s.Register("lenet-mnist", m); err != nil {
+	if _, err := s.Register("lenet-mnist", m); err != nil {
 		t.Fatal(err)
 	}
 	srv := httptest.NewServer(s.Handler())
@@ -161,7 +161,7 @@ func TestTelemetryDisabled(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := s.Register("lenet-mnist", m); err != nil {
+	if _, err := s.Register("lenet-mnist", m); err != nil {
 		t.Fatal(err)
 	}
 	srv := httptest.NewServer(s.Handler())

@@ -10,6 +10,7 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"math"
@@ -43,6 +44,20 @@ type Client struct {
 	modelName string
 	model     *models.Composite
 	branch    *binary.PackedBranch // bit-packed executor for the binary branch
+	// modelArch/modelCfg remember how the loaded model was built so
+	// RevalidateBundle can rebuild it when the edge serves a new version.
+	modelArch string
+	modelCfg  models.Config
+	// bundleVersion/bundleETag identify the downloaded bundle: the edge's
+	// content-addressed model version and the ETag to revalidate with
+	// (If-None-Match → 304, zero body bytes, when unchanged).
+	bundleVersion string
+	bundleETag    string
+	// pinVersion stamps every offload with the bundle's version
+	// (X-LCRS-Model-Version): the edge then rejects with 409 when a
+	// hot-swap has moved past it, instead of fusing this client's binary
+	// branch with mismatched main-branch weights. See WithVersionPin.
+	pinVersion bool
 	// tauBits holds the exit threshold as float64 bits so concurrent
 	// recognitions and controller pushes never tear: each decision loads
 	// tau exactly once and threads that value through both the exit test
@@ -144,10 +159,77 @@ func (c *Client) LoadModel(ctx context.Context, name, arch string, cfg models.Co
 	c.modelName = name
 	c.model = m
 	c.branch = binary.PackBranch(m.Binary)
+	c.modelArch = arch
+	c.modelCfg = cfg
+	c.bundleVersion = resp.Header.Get(collab.ModelVersionHeader)
+	c.bundleETag = resp.Header.Get("ETag")
 	c.tauBits.Store(math.Float64bits(tau))
 	c.loadTime = time.Since(start)
 	c.loadBytes = len(data)
 	return nil
+}
+
+// ModelVersion reports the content-addressed version of the loaded bundle
+// (empty against a pre-versioning edge, or before LoadModel).
+func (c *Client) ModelVersion() string { return c.bundleVersion }
+
+// RevalidateBundle asks the edge whether the loaded bundle is still
+// current, the cheap way: a conditional GET carrying If-None-Match with
+// the bundle's ETag. An unchanged bundle costs a 304 with ZERO body bytes
+// — the browser idiom this client mirrors, where the HTTP cache
+// revalidates instead of re-downloading megabytes of weights. When the
+// edge has hot-swapped to a new version, the 200 response carries the new
+// bundle; it is installed in place (same arch/config — a redeploy that
+// changes the architecture needs a fresh LoadModel) and the session
+// recognition cache, if any, is dropped: its answers were computed by
+// weights that no longer serve. Returns whether the model changed.
+//
+// Like LoadModel, this must not run concurrently with Recognize.
+func (c *Client) RevalidateBundle(ctx context.Context) (changed bool, err error) {
+	if c.model == nil {
+		return false, fmt.Errorf("webclient: no model loaded")
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+"/v1/bundle/"+c.modelName, nil)
+	if err != nil {
+		return false, fmt.Errorf("webclient: %w", err)
+	}
+	if c.bundleETag != "" {
+		req.Header.Set("If-None-Match", c.bundleETag)
+	}
+	resp, err := c.http.Do(req)
+	if err != nil {
+		return false, fmt.Errorf("webclient: revalidate bundle: %w", err)
+	}
+	defer resp.Body.Close()
+	switch resp.StatusCode {
+	case http.StatusNotModified:
+		return false, nil
+	case http.StatusOK:
+		// A new version is serving: install it.
+	default:
+		return false, fmt.Errorf("webclient: revalidate bundle %q: status %s", c.modelName, resp.Status)
+	}
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return false, fmt.Errorf("webclient: read bundle: %w", err)
+	}
+	m, err := models.Build(c.modelArch, c.modelCfg)
+	if err != nil {
+		return false, fmt.Errorf("webclient: build %s: %w", c.modelArch, err)
+	}
+	if err := modelio.DecodeBrowserBundle(data, m); err != nil {
+		return false, fmt.Errorf("webclient: install bundle: %w", err)
+	}
+	c.model = m
+	c.branch = binary.PackBranch(m.Binary)
+	c.bundleVersion = resp.Header.Get(collab.ModelVersionHeader)
+	c.bundleETag = resp.Header.Get("ETag")
+	c.loadBytes = len(data)
+	if c.cache != nil {
+		// Session-cache answers were computed by the replaced version.
+		c.cache.clear()
+	}
+	return true, nil
 }
 
 // Tau reports the exit threshold the next recognition will use. It starts
@@ -182,13 +264,9 @@ func (c *Client) applyTauPush(tau *float64) {
 // LoadStats reports the bundle download: wall-clock time and payload size.
 func (c *Client) LoadStats() (time.Duration, int) { return c.loadTime, c.loadBytes }
 
-// SetCodec selects the wire codec used to encode the conv1 activation on
-// offload requests ("raw", "f16", "q8", ...; empty restores raw).
-//
-// Deprecated: use New(url, WithCodec(name)) at construction; SetCodec
-// remains for runtime re-negotiation (NegotiateCodec uses it).
-func (c *Client) SetCodec(name string) error { return c.setCodec(name) }
-
+// setCodec selects the wire codec used to encode the conv1 activation on
+// offload requests ("raw", "f16", "q8", ...). Construction-time selection
+// goes through WithCodec; runtime re-negotiation through NegotiateCodec.
 func (c *Client) setCodec(name string) error {
 	codec, err := collab.CodecByName(name)
 	if err != nil {
@@ -230,14 +308,14 @@ func (c *Client) NegotiateCodec(ctx context.Context, preferred string) (string, 
 		}
 		for _, name := range info.Codecs {
 			if name == preferred {
-				if err := c.SetCodec(preferred); err != nil {
+				if err := c.setCodec(preferred); err != nil {
 					return "", err
 				}
 				return preferred, nil
 			}
 		}
 	}
-	if err := c.SetCodec("raw"); err != nil {
+	if err := c.setCodec("raw"); err != nil {
 		return "", err
 	}
 	return "raw", nil
@@ -289,7 +367,21 @@ type Result struct {
 	// offload's, so no request was sent. Combined with Degraded it means a
 	// cached answer was served because the edge was unreachable.
 	CacheHit bool
+	// ModelVersion is the edge-reported version that served this offload
+	// (empty on local exits, cache hits, or pre-versioning edges).
+	ModelVersion string
+	// BundleStale reports that the serving version differs from the one
+	// this client's bundle was downloaded from — the edge hot-swapped
+	// mid-session. The answer is still the edge's authoritative one; the
+	// client should RevalidateBundle before trusting further local exits.
+	BundleStale bool
 }
+
+// ErrVersionConflict is returned (wrapped) by Recognize when the client
+// pinned its bundle version (WithVersionPin) and the edge has hot-swapped
+// to a different one: the offload was rejected with 409 before any
+// forward ran. Recover with RevalidateBundle, then retry.
+var ErrVersionConflict = errors.New("webclient: model version conflict")
 
 // Recognize runs Algorithm 2 on one CHW sample.
 func (c *Client) Recognize(ctx context.Context, x *tensor.Tensor) (Result, error) {
@@ -359,6 +451,13 @@ func (c *Client) Recognize(ctx context.Context, x *tensor.Tensor) (Result, error
 	ir, err := c.edgeInfer(ctx, &buf, id)
 	if err != nil {
 		c.refundExits(tel)
+		if errors.Is(err, ErrVersionConflict) {
+			// Not an outage: the edge is healthy and told us our pinned
+			// bundle is outdated. Degrading to the (equally outdated) binary
+			// branch or a cached answer would hide exactly the signal the
+			// pin exists to surface — return it so the caller revalidates.
+			return Result{}, err
+		}
 		if keyed {
 			if ent := c.cache.get(key); ent != nil {
 				// Edge outage, but this exact frame has a cached answer —
@@ -394,6 +493,8 @@ func (c *Client) Recognize(ctx context.Context, x *tensor.Tensor) (Result, error
 		res.RequestID = ir.RequestID
 	}
 	res.BinaryAgree = ir.BinaryAgree
+	res.ModelVersion = ir.Version
+	res.BundleStale = ir.Version != "" && c.bundleVersion != "" && ir.Version != c.bundleVersion
 	c.applyTauPush(ir.Tau)
 	return res, nil
 }
@@ -459,11 +560,18 @@ func (c *Client) edgeInfer(ctx context.Context, body io.Reader, id string) (edge
 	if id != "" {
 		req.Header.Set(collab.RequestIDHeader, id)
 	}
+	if c.pinVersion && c.bundleVersion != "" {
+		req.Header.Set(collab.ModelVersionHeader, c.bundleVersion)
+	}
 	resp, err := c.http.Do(req)
 	if err != nil {
 		return edge.InferResponse{}, fmt.Errorf("webclient: edge inference: %w", err)
 	}
 	defer resp.Body.Close()
+	if resp.StatusCode == http.StatusConflict {
+		return edge.InferResponse{}, fmt.Errorf("%w: edge serves version %s, bundle is %s",
+			ErrVersionConflict, resp.Header.Get(collab.ModelVersionHeader), c.bundleVersion)
+	}
 	if resp.StatusCode != http.StatusOK {
 		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
 		return edge.InferResponse{}, fmt.Errorf("webclient: edge inference: status %s: %s", resp.Status, msg)

@@ -63,7 +63,7 @@ func trainServeClient(t *testing.T, tau float64) (*Client, *models.Composite, *d
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := s.Register("lenet-mnist", m); err != nil {
+	if _, err := s.Register("lenet-mnist", m); err != nil {
 		t.Fatal(err)
 	}
 	srv := httptest.NewServer(s.Handler())

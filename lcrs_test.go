@@ -79,7 +79,7 @@ func TestPublicAPIEndToEnd(t *testing.T) {
 
 	// HTTP topology: edge server + web client.
 	srv := NewEdgeServer()
-	if err := srv.Register("demo", m2); err != nil {
+	if _, err := srv.Register("demo", m2); err != nil {
 		t.Fatal(err)
 	}
 	hs := httptest.NewServer(srv.Handler())
