@@ -33,6 +33,7 @@ import (
 	"lcrs/internal/exitpolicy"
 	"lcrs/internal/modelio"
 	"lcrs/internal/obs"
+	"lcrs/internal/slo"
 )
 
 // version labels the lcrs_build_info metric; override with
@@ -66,6 +67,14 @@ func main() {
 	tauTarget := flag.Float64("tau-target", 0.5, "controller set point for the -tau-mode signal, in (0,1)")
 	tauInit := flag.Float64("tau-init", -1, "controller starting threshold; negative (the default) adopts the first client-reported tau instead")
 	ansCache := flag.Int("answer-cache", 0, "content-addressed answer cache capacity per model: repeated offload payloads are answered without a replica checkout (0 disables)")
+	sloOn := flag.Bool("slo", false, "grade windowed SLOs per model version: /v1/health readiness (503 while burning), /v1/slo verdict, lcrs_slo_* gauges")
+	sloWindow := flag.Duration("slo-window", 60*time.Second, "long (slow-burn) SLO evaluation window")
+	sloFast := flag.Duration("slo-fast-window", 10*time.Second, "fast-burn SLO window (a trailing slice of -slo-window)")
+	sloLatency := flag.Duration("slo-latency-p99", 0, "p99 infer-latency objective; 0 disables the latency objective")
+	sloErrors := flag.Float64("slo-max-error-rate", 0.05, "error-rate ceiling objective in [0,1]; 0 disables")
+	sloAgree := flag.Float64("slo-min-agreement", 0, "binary-vs-main agreement floor objective in [0,1]; 0 disables")
+	sloExitMin := flag.Float64("slo-exit-min", 0, "lower bound of the early-exit rate band objective")
+	sloExitMax := flag.Float64("slo-exit-max", 0, "upper bound of the early-exit rate band objective; 0 disables the band")
 	flag.Var(&mf, "model", "name=checkpoint.lcrs (repeatable)")
 	var pf modelFlags
 	flag.Var(&pf, "pack", "name=deploy.lcpk model pack to serve (repeatable); packs carry tau, codec default and the mirrorable artifact")
@@ -102,6 +111,17 @@ func main() {
 	if *ansCache > 0 {
 		opts = append(opts, edge.WithAnswerCache(*ansCache))
 	}
+	if *sloOn {
+		opts = append(opts, edge.WithSLO(slo.Config{
+			Window:       *sloWindow,
+			FastWindow:   *sloFast,
+			LatencyP99:   *sloLatency,
+			MaxErrorRate: *sloErrors,
+			MinAgreement: *sloAgree,
+			ExitRateMin:  *sloExitMin,
+			ExitRateMax:  *sloExitMax,
+		}))
+	}
 	if *tauMode != "" {
 		cfg := exitpolicy.Config{
 			Mode:   exitpolicy.Mode(*tauMode),
@@ -127,6 +147,10 @@ func main() {
 	}
 	if *ansCache > 0 {
 		fmt.Printf("answer cache: %d entries per model, invalidated on tau pushes\n", *ansCache)
+	}
+	if *sloOn {
+		fmt.Printf("slo: grading over %v window (%v fast burn); /v1/health answers 503 while any objective fast-burns\n",
+			*sloWindow, *sloFast)
 	}
 	if *tauMode != "" {
 		seed := "adopting the first client-reported tau"

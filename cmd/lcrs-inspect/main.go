@@ -12,6 +12,8 @@
 //	lcrs-inspect -arch vgg16 -scale 0.25
 //	lcrs-inspect -server http://127.0.0.1:8080                 # /v1/exitstats
 //	lcrs-inspect -server http://127.0.0.1:8080 -view journal   # /v1/debug/requests
+//	lcrs-inspect -server http://127.0.0.1:8080 -view slo       # /v1/slo verdict
+//	lcrs-inspect -server http://127.0.0.1:8080 -trace <id>     # client→edge waterfall
 package main
 
 import (
@@ -20,11 +22,13 @@ import (
 	"fmt"
 	"net/http"
 	"os"
+	"strings"
 	"time"
 
 	"lcrs/internal/edge"
 	"lcrs/internal/modelio"
 	"lcrs/internal/models"
+	"lcrs/internal/slo"
 )
 
 func main() {
@@ -35,10 +39,22 @@ func main() {
 		scale   = flag.Float64("scale", 1, "width scale when building from -arch")
 		classes = flag.Int("classes", 10, "classes when building from -arch")
 		server  = flag.String("server", "", "running edge server base URL to inspect instead of a checkpoint")
-		view    = flag.String("view", "exitstats", "remote view when -server is set: exitstats or journal")
+		view    = flag.String("view", "exitstats", "remote view when -server is set: exitstats, journal or slo")
+		traceID = flag.String("trace", "", "render the client→edge span waterfall for this trace (or request) ID; requires -server")
 	)
 	flag.Parse()
 
+	if *traceID != "" {
+		if *server == "" {
+			fmt.Fprintln(os.Stderr, "lcrs-inspect: -trace requires -server")
+			os.Exit(2)
+		}
+		if err := inspectTrace(*server, *traceID); err != nil {
+			fmt.Fprintln(os.Stderr, "lcrs-inspect:", err)
+			os.Exit(1)
+		}
+		return
+	}
 	if *server != "" {
 		if err := inspectRemote(*server, *view); err != nil {
 			fmt.Fprintln(os.Stderr, "lcrs-inspect:", err)
@@ -189,9 +205,72 @@ func inspectRemote(base, view string) error {
 			}
 			fmt.Println(line)
 		}
+	case "slo":
+		var v slo.Verdict
+		if err := getJSON(base+"/v1/slo", &v); err != nil {
+			return err
+		}
+		fmt.Printf("slo: %s (healthy=%t, window %.0fs / fast %.0fs)\n",
+			v.State, v.Healthy, v.WindowSecs, v.FastWindowSec)
+		for _, t := range v.Targets {
+			fmt.Printf("%s %s:\n", t.Model, t.Version)
+			for _, o := range t.Objectives {
+				line := fmt.Sprintf("  %-12s %-9s", o.Name, o.State)
+				if o.Value >= 0 {
+					line += fmt.Sprintf(" value=%.4f fast=%.4f", o.Value, o.FastValue)
+				}
+				if o.ThresholdLow > 0 {
+					line += fmt.Sprintf(" band=[%.2f,%.2f]", o.ThresholdLow, o.Threshold)
+				} else {
+					line += fmt.Sprintf(" threshold=%.4f", o.Threshold)
+				}
+				fmt.Printf("%s samples=%d\n", line, o.Samples)
+			}
+		}
 	default:
-		return fmt.Errorf("unknown view %q (want exitstats or journal)", view)
+		return fmt.Errorf("unknown view %q (want exitstats, journal or slo)", view)
 	}
+	return nil
+}
+
+// inspectTrace renders /v1/debug/trace/{id} as a waterfall: one row per
+// span, offset and width scaled to the request's total processing time.
+// The network gap between client.encode and edge.read is excluded by
+// construction (the edge cannot measure it; the client derives it as
+// RTT - edge total), so the bars show where processing time went.
+func inspectTrace(base, id string) error {
+	var tr edge.TraceResponse
+	if err := getJSON(base+"/v1/debug/trace/"+id, &tr); err != nil {
+		return err
+	}
+	e := tr.Entry
+	fmt.Printf("trace %s: %s %s -> %d", tr.TraceID, e.Method, e.Path, e.Status)
+	if e.Model != "" {
+		fmt.Printf(" (model=%s version=%s codec=%s)", e.Model, e.Version, e.Codec)
+	}
+	if e.Pred != nil {
+		fmt.Printf(" pred=%d", *e.Pred)
+	}
+	fmt.Println()
+	if len(tr.Spans) == 0 {
+		fmt.Println("no spans journaled for this request (non-inference or failed before staging)")
+		return nil
+	}
+	const cols = 48
+	scale := func(micros int64) int {
+		return int(micros * cols / tr.TotalMicros)
+	}
+	for _, sp := range tr.Spans {
+		lead := scale(sp.StartMicros)
+		width := scale(sp.DurationMicros)
+		if width == 0 {
+			width = 1
+		}
+		fmt.Printf("  %-16s %8dus  |%s%s%s|\n", sp.Name, sp.DurationMicros,
+			strings.Repeat(" ", lead), strings.Repeat("#", width),
+			strings.Repeat(" ", max(0, cols-lead-width)))
+	}
+	fmt.Printf("  total %dus processing (client->edge; network gap excluded)\n", tr.TotalMicros)
 	return nil
 }
 

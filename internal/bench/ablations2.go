@@ -24,6 +24,7 @@ func moreAblations() []Experiment {
 		{ID: "exitloop", Title: "Closed-loop tau control recovering the exit rate under class skew", Run: (*Runner).ExitLoop},
 		{ID: "kernels", Title: "Blocked+fused GEMM throughput vs unrolled baseline; replica allocs/op", Run: (*Runner).Kernels},
 		{ID: "streaming", Title: "Streaming AR sessions: offloads saved by the session and edge answer caches", Run: (*Runner).Streaming},
+		{ID: "slo", Title: "Windowed SLO burn and recovery: agreement floor flips /v1/health under branch disagreement", Run: (*Runner).SLOBurn},
 	}
 }
 

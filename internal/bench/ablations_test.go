@@ -12,7 +12,7 @@ func TestAblationRegistry(t *testing.T) {
 		"ablation-links", "offload-bytes",
 		"ablation-concurrency", "ablation-energy", "ablation-bits",
 		"throughput", "batching", "stages", "exitdrift", "exitloop",
-		"kernels", "streaming",
+		"kernels", "streaming", "slo",
 	}
 	got := Ablations()
 	if len(got) != len(want) {
@@ -252,6 +252,30 @@ func TestKernelsQuick(t *testing.T) {
 		"Kernel throughput", "Unrolled GB/s", "Blocked GB/s", "Speedup",
 		"conv2-fwd 192x576x256",
 		"Serving replica steady state", "allocs/op", "arena footprint",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestSLOQuick drives the windowed SLO burn-and-recovery experiment end
+// to end in quick mode: the agreement floor flips /v1/health to 503
+// within a bounded number of provably-disagreeing requests (SLOBurn
+// errors if it never flips, flips early, or fails to recover to 200),
+// and the three phase rows render for EXPERIMENTS.md.
+func TestSLOQuick(t *testing.T) {
+	r := quickRunner()
+	if err := r.SLOBurn(); err != nil {
+		t.Fatal(err)
+	}
+	out := output(r)
+	for _, want := range []string{
+		"SLO burn and recovery",
+		"healthy", "degraded", "recovered",
+		"Objective state", "/v1/health",
+		"readiness flipped to 503 after",
+		"recovered to 200 one window later",
 	} {
 		if !strings.Contains(out, want) {
 			t.Fatalf("missing %q:\n%s", want, out)

@@ -1,0 +1,76 @@
+package collab
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Cross-boundary trace propagation. A recognition's latency story starts
+// on the device — shared conv1 + binary branch forward, the exit
+// decision, frame encoding — and only then crosses the wire to the edge
+// stages the server traces itself. The client ships its side of the
+// story in the TraceHeader so the edge journal alone can render the full
+// client→edge waterfall for one request ID, without collecting anything
+// from the browser after the fact.
+//
+// Like RequestIDHeader and ModelVersionHeader, the header name and
+// format live here because both ends of the wire must agree on them.
+
+// TraceHeader carries the trace parent on infer requests:
+//
+//	X-LCRS-Trace: <id>;local=<micros>;encode=<micros>
+//
+// <id> is the trace ID (same alphabet as request IDs; in practice the
+// request ID itself), local is the client's on-device compute time and
+// encode its offload frame encoding time, both in microseconds. Unknown
+// k=v fields are ignored so the format can grow without breaking old
+// edges. The edge echoes the resolved trace ID back in the same header.
+const TraceHeader = "X-LCRS-Trace"
+
+// TraceParent is the parsed client side of a trace.
+type TraceParent struct {
+	// ID is the trace ID ("" when the client sent none or it failed
+	// SanitizeRequestID; the edge then falls back to the request ID).
+	ID string
+	// LocalMicros is the client's on-device compute span (shared prefix,
+	// binary branch, exit decision), in microseconds.
+	LocalMicros int64
+	// EncodeMicros is the client's offload-frame encoding span.
+	EncodeMicros int64
+}
+
+// Format renders the header value.
+func (tp TraceParent) Format() string {
+	return fmt.Sprintf("%s;local=%d;encode=%d", tp.ID, tp.LocalMicros, tp.EncodeMicros)
+}
+
+// ParseTrace parses a TraceHeader value. It is deliberately forgiving —
+// the header comes from arbitrary HTTP clients: a bad ID is dropped (the
+// caller substitutes the request ID), malformed or negative durations
+// parse to 0, unknown fields are skipped. ok is false only when the
+// value is empty.
+func ParseTrace(v string) (tp TraceParent, ok bool) {
+	if v == "" {
+		return TraceParent{}, false
+	}
+	parts := strings.Split(v, ";")
+	tp.ID = SanitizeRequestID(strings.TrimSpace(parts[0]))
+	for _, p := range parts[1:] {
+		k, val, found := strings.Cut(strings.TrimSpace(p), "=")
+		if !found {
+			continue
+		}
+		n, err := strconv.ParseInt(val, 10, 64)
+		if err != nil || n < 0 {
+			continue
+		}
+		switch k {
+		case "local":
+			tp.LocalMicros = n
+		case "encode":
+			tp.EncodeMicros = n
+		}
+	}
+	return tp, true
+}

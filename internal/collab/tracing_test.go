@@ -1,0 +1,43 @@
+package collab
+
+import "testing"
+
+func TestTraceRoundTrip(t *testing.T) {
+	tp := TraceParent{ID: "req-abc123", LocalMicros: 1500, EncodeMicros: 42}
+	if got := tp.Format(); got != "req-abc123;local=1500;encode=42" {
+		t.Fatalf("Format() = %q", got)
+	}
+	parsed, ok := ParseTrace(tp.Format())
+	if !ok || parsed != tp {
+		t.Fatalf("round trip = %+v ok=%t, want %+v", parsed, ok, tp)
+	}
+}
+
+// TestParseTraceForgiving pins the lenient-parse contract: the header
+// comes from arbitrary HTTP clients, so malformed pieces degrade to zero
+// values instead of rejecting the whole trace.
+func TestParseTraceForgiving(t *testing.T) {
+	cases := []struct {
+		in   string
+		want TraceParent
+		ok   bool
+	}{
+		{"", TraceParent{}, false},
+		{"abc", TraceParent{ID: "abc"}, true},
+		{"abc;local=7", TraceParent{ID: "abc", LocalMicros: 7}, true},
+		// Bad ID characters fail SanitizeRequestID: dropped, durations kept.
+		{"a b c;local=7;encode=9", TraceParent{LocalMicros: 7, EncodeMicros: 9}, true},
+		// Malformed and negative durations parse to zero.
+		{"abc;local=xyz;encode=-3", TraceParent{ID: "abc"}, true},
+		// Unknown fields and junk segments are skipped, not fatal.
+		{"abc;future=1;;local=5", TraceParent{ID: "abc", LocalMicros: 5}, true},
+		// Whitespace around segments tolerated.
+		{" abc ; local=4 ; encode=2", TraceParent{ID: "abc", LocalMicros: 4, EncodeMicros: 2}, true},
+	}
+	for _, c := range cases {
+		got, ok := ParseTrace(c.in)
+		if ok != c.ok || got != c.want {
+			t.Errorf("ParseTrace(%q) = %+v ok=%t, want %+v ok=%t", c.in, got, ok, c.want, c.ok)
+		}
+	}
+}

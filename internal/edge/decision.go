@@ -153,6 +153,18 @@ type ExitStats struct {
 	Controller *TauControlStats `json:"controller,omitempty"`
 }
 
+// presentQuantile maps obs.NoData to 0 for the JSON stats views, which
+// pair every quantile with a count field: a reader checks EntropyCount,
+// not a sentinel, so the empty case stays a plain 0 as it always was.
+// SLO evaluation (internal/slo) sees the raw sentinel instead — the
+// distinction matters there, not here.
+func presentQuantile(v float64) float64 {
+	if v < 0 {
+		return 0
+	}
+	return v
+}
+
 // ExitStats snapshots per-model decision telemetry, sorted by model name.
 func (s *Server) ExitStats() []ExitStats {
 	s.mu.RLock()
@@ -174,11 +186,11 @@ func (s *Server) ExitStats() []ExitStats {
 			Disagree:          d.AgreeNo.Value(),
 			EntropyCount:      d.entropy.Count(),
 			EntropyMean:       0,
-			EntropyP50:        d.entropy.Quantile(0.5),
-			EntropyP90:        d.entropy.Quantile(0.9),
-			EntropyP99:        d.entropy.Quantile(0.99),
-			TauMarginP50:      d.tauMargin.Quantile(0.5),
-			TauMarginP90:      d.tauMargin.Quantile(0.9),
+			EntropyP50:        presentQuantile(d.entropy.Quantile(0.5)),
+			EntropyP90:        presentQuantile(d.entropy.Quantile(0.9)),
+			EntropyP99:        presentQuantile(d.entropy.Quantile(0.99)),
+			TauMarginP50:      presentQuantile(d.tauMargin.Quantile(0.5)),
+			TauMarginP90:      presentQuantile(d.tauMargin.Quantile(0.9)),
 			Controller:        e.ctrl.tauStats(),
 		}
 		if total := st.LocalExits + st.OffloadedSamples; total > 0 {

@@ -223,9 +223,23 @@ func TestRequestJournal(t *testing.T) {
 		t.Fatalf("journal entry missing inference detail: %+v", e)
 	}
 
+	// Health and SLO probes are self-traffic too: a load balancer hitting
+	// them every couple of seconds must not evict real requests.
+	for _, p := range []string{"/v1/healthz", "/v1/health", "/v1/slo"} {
+		r, err := http.Get(srv.URL + p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		r.Body.Close()
+	}
+	getJSON(t, srv.URL+"/v1/debug/requests", &entries)
+	if len(entries) != 1 {
+		t.Fatalf("journal has %d entries, want 1 (probes must be skipped): %+v", len(entries), entries)
+	}
+
 	// Overflow: the ring keeps only the newest 4, newest first.
 	for i := 0; i < 6; i++ {
-		r, err := http.Get(srv.URL + fmt.Sprintf("/v1/healthz?i=%d", i))
+		r, err := http.Get(srv.URL + fmt.Sprintf("/v1/models?i=%d", i))
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -236,7 +250,7 @@ func TestRequestJournal(t *testing.T) {
 		t.Fatalf("bounded journal has %d entries, want 4", len(entries))
 	}
 	for _, e := range entries {
-		if e.Path != "/v1/healthz" {
+		if e.Path != "/v1/models" {
 			t.Fatalf("oldest entries must be evicted, found %+v", e)
 		}
 	}

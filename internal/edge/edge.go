@@ -33,6 +33,7 @@ import (
 	"lcrs/internal/exitpolicy"
 	"lcrs/internal/models"
 	"lcrs/internal/obs"
+	"lcrs/internal/slo"
 	"lcrs/internal/tensor"
 )
 
@@ -141,6 +142,12 @@ type entry struct {
 	checkouts atomic.Int64
 
 	stats *modelStats
+
+	// win is this version's windowed SLO target (WithSLO); nil otherwise.
+	// It lives in the slo engine's per-(model,version) map, not here, so a
+	// hot-swapped-out version's windows remain queryable (the A/B compare
+	// surface) and re-activation resumes the same series.
+	win *slo.Target
 }
 
 // checkout borrows a forward context from the pool, blocking until one is
@@ -264,8 +271,8 @@ type Server struct {
 	mu sync.RWMutex
 	// entries maps model name → versioned record (registry.go); the record
 	// holds every staged version and the atomically swappable active entry.
-	entries map[string]*modelRec
-	logger  *slog.Logger
+	entries  map[string]*modelRec
+	logger   *slog.Logger
 	journal  *journal
 	replicas int
 	// batchMax/batchWait configure micro-batching for subsequently
@@ -286,6 +293,17 @@ type Server struct {
 	// answerCap, when positive (WithAnswerCache), gives every subsequently
 	// registered model a content-addressed answer cache of that capacity.
 	answerCap int
+	// sloCfg holds the validated WithSLO configuration until New builds
+	// the engine (after all options, so WithMetrics ordering never
+	// matters); slo is the engine itself, nil when SLOs are disabled.
+	sloCfg *slo.Config
+	slo    *slo.Engine
+	// clock, when set (WithClock), is the time source for windowed
+	// aggregation and SLO evaluation — injected by deterministic tests
+	// and the slo bench experiment. Request latency is still measured
+	// with the monotonic wall clock; only window placement and burn
+	// horizons follow the injected time.
+	clock func() time.Time
 	// closed is set by Close; registration and activation reject with
 	// ErrServerClosed afterwards so no serving state outlives shutdown.
 	closed bool
@@ -461,15 +479,18 @@ func (s *Server) Stats() []ModelStats {
 
 // Handler returns the HTTP API:
 //
-//	GET  /v1/healthz         liveness probe
-//	GET  /v1/models          JSON list of hosted models
-//	GET  /v1/stats           JSON per-model serving counters
-//	GET  /v1/exitstats       JSON per-model decision telemetry
-//	GET  /v1/debug/requests  recent requests from the journal, newest first
-//	GET  /v1/bundle/{name}   browser bundle of the active version
-//	GET  /v1/pack/{name}     raw deploy pack of the active version
-//	POST /v1/infer/{name}    tensor frame in, InferResponse out
-//	GET  /metrics            Prometheus text exposition
+//	GET  /v1/healthz           liveness probe
+//	GET  /v1/health            readiness: 503 + verdict while an SLO burns
+//	GET  /v1/slo               full SLO verdict (objectives per version)
+//	GET  /v1/models            JSON list of hosted models
+//	GET  /v1/stats             JSON per-model serving counters
+//	GET  /v1/exitstats         JSON per-model decision telemetry
+//	GET  /v1/debug/requests    recent requests from the journal, newest first
+//	GET  /v1/debug/trace/{id}  span tree of one journaled request
+//	GET  /v1/bundle/{name}     browser bundle of the active version
+//	GET  /v1/pack/{name}       raw deploy pack of the active version
+//	POST /v1/infer/{name}      tensor frame in, InferResponse out
+//	GET  /metrics              Prometheus text exposition
 //
 // Bundle and pack responses carry a strong ETag (the quoted model
 // version) and an X-LCRS-Model-Version header, and honor If-None-Match
@@ -487,6 +508,8 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("/v1/healthz", func(w http.ResponseWriter, r *http.Request) {
 		fmt.Fprintln(w, "ok")
 	})
+	mux.HandleFunc("/v1/health", s.handleHealth)
+	mux.HandleFunc("/v1/slo", s.handleSLO)
 	mux.HandleFunc("/v1/models", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, s.Models())
 	})
@@ -503,6 +526,7 @@ func (s *Server) Handler() http.Handler {
 		}
 		writeJSON(w, http.StatusOK, entries)
 	})
+	mux.HandleFunc("/v1/debug/trace/", s.handleTrace)
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 		if err := s.metrics.WritePrometheus(w); err != nil {
@@ -583,6 +607,11 @@ func (s *Server) handleInfer(w http.ResponseWriter, r *http.Request) {
 		info = &reqInfo{id: collab.NewRequestID()}
 	}
 	info.model = name
+	info.version = e.version
+	// Windowed SLO accounting starts here, inside handleInfer, which is
+	// what structurally excludes /metrics scrapes and health probes from
+	// SLO evaluation: only inference traffic ever reaches a target.
+	inferStart := time.Now()
 	var tr trace
 	body := &timingReader{r: r.Body}
 	decodeStart := time.Now()
@@ -605,12 +634,14 @@ func (s *Server) handleInfer(w http.ResponseWriter, r *http.Request) {
 	if err != nil {
 		e.stats.InferRequests.Inc()
 		e.stats.InferErrors.Inc()
+		e.observeWin(inferStart, true)
 		http.Error(w, err.Error(), http.StatusBadRequest)
 		return
 	}
 	if !s.codecAccepted(codecID) {
 		e.stats.InferRequests.Inc()
 		e.stats.InferErrors.Inc()
+		e.observeWin(inferStart, true)
 		http.Error(w, fmt.Sprintf("codec 0x%02x not enabled on this server", uint8(codecID)),
 			http.StatusUnsupportedMediaType)
 		return
@@ -620,6 +651,7 @@ func (s *Server) handleInfer(w http.ResponseWriter, r *http.Request) {
 	if err != nil {
 		e.stats.InferRequests.Inc()
 		e.stats.InferErrors.Inc()
+		e.observeWin(inferStart, true)
 		http.Error(w, err.Error(), http.StatusBadRequest)
 		return
 	}
@@ -635,10 +667,12 @@ func (s *Server) handleInfer(w http.ResponseWriter, r *http.Request) {
 		case hit:
 			resp = InferResponse{Model: name, Pred: ans.pred, Preds: ans.preds, Probs: ans.probs}
 			e.stats.CacheHits.Inc()
+			e.winCache(true)
 			e.stats.InferRequests.Inc()
 			e.stats.cacheHit.ObserveDuration(time.Since(hitStart))
 		case leader:
 			e.stats.CacheMisses.Inc()
+			e.winCache(false)
 			completed := false
 			defer func() {
 				// Release followers even if the forward panics; they fall
@@ -657,10 +691,12 @@ func (s *Server) handleInfer(w http.ResponseWriter, r *http.Request) {
 			if fl.ok {
 				resp = InferResponse{Model: name, Pred: fl.ans.pred, Preds: fl.ans.preds, Probs: fl.ans.probs}
 				e.stats.CacheHits.Inc()
+				e.winCache(true)
 				e.stats.InferRequests.Inc()
 				e.stats.cacheHit.ObserveDuration(time.Since(hitStart))
 			} else {
 				e.stats.CacheMisses.Inc()
+				e.winCache(false)
 				resp = computeInfer(name, e, t, &tr)
 			}
 		}
@@ -712,6 +748,7 @@ func (s *Server) handleInfer(w http.ResponseWriter, r *http.Request) {
 	tr.stages[stageEncode] = time.Since(encodeStart)
 	if encodeErr != nil {
 		e.stats.InferErrors.Inc()
+		e.observeWin(inferStart, true)
 		http.Error(w, encodeErr.Error(), http.StatusInternalServerError)
 		return
 	}
@@ -724,9 +761,40 @@ func (s *Server) handleInfer(w http.ResponseWriter, r *http.Request) {
 	// error; the stage histograms still record the attempt.
 	_ = writeErr
 	tr.observeInto(e.stats)
+	info.traceEnrich(&tr)
 	// Decision telemetry follows the stage discipline: observed only on
 	// success, so the offload sample count reconciles with stage counts.
 	e.stats.decision.observe(t.Dim(0), tel, resp.Pred)
+	// Windowed SLO aggregation mirrors the same discipline into this
+	// version's trailing windows: latency and error rate from the request
+	// outcome, exit rate and agreement from the telemetry the decision
+	// counters just consumed.
+	e.observeWin(inferStart, false)
+	if w := e.win; w != nil {
+		var local int64
+		if tel != nil {
+			local = int64(tel.LocalExits)
+		}
+		w.ObserveExits(local, int64(t.Dim(0)))
+		if tel != nil {
+			w.ObserveAgreement(tel.BinaryPred == resp.Pred)
+		}
+	}
+}
+
+// observeWin records one request outcome in this version's SLO windows;
+// a no-op without WithSLO.
+func (e *entry) observeWin(start time.Time, failed bool) {
+	if e.win != nil {
+		e.win.ObserveInfer(time.Since(start), failed)
+	}
+}
+
+// winCache mirrors one answer-cache lookup into the SLO windows.
+func (e *entry) winCache(hit bool) {
+	if e.win != nil {
+		e.win.ObserveCache(hit)
+	}
 }
 
 // statusRecorder captures the response status for request logging.

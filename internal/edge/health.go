@@ -1,0 +1,81 @@
+package edge
+
+import (
+	"net/http"
+
+	"lcrs/internal/slo"
+)
+
+// Readiness and SLO endpoints (DESIGN.md §16). /v1/healthz stays the dumb
+// liveness probe it always was ("is the process up"); /v1/health is
+// readiness: it grades the configured objectives over their trailing
+// windows and answers 503 while any objective fast-burns, which is the
+// admission signal a fleet gateway or load balancer consumes to stop
+// routing at a degraded edge. /v1/slo is the detail view — the full
+// verdict, every objective of every (model, version) target — computed by
+// the same slo.Engine.Evaluate call that backs the lcrs_slo_* gauges, so
+// the JSON, the exposition and the 503 can never disagree about whether
+// the budget is burning.
+
+// HealthResponse is the /v1/health body. SLO is false when the server
+// runs without WithSLO — the endpoint then always answers 200 ok, so
+// probes can be pointed at it unconditionally.
+type HealthResponse struct {
+	// Status is "ok" or "burning" — the machine-readable form of the
+	// HTTP status (200 / 503).
+	Status string `json:"status"`
+	// SLO reports whether an SLO engine is grading this server.
+	SLO bool `json:"slo"`
+	// State is the engine-wide state (no_data, ok, slow_burn, fast_burn);
+	// empty without an engine.
+	State string `json:"state,omitempty"`
+	// Burning lists the fast-burning objectives behind a 503.
+	Burning []BurningObjective `json:"burning,omitempty"`
+}
+
+// BurningObjective names one fast-burning objective in a 503 verdict.
+type BurningObjective struct {
+	Model     string  `json:"model"`
+	Version   string  `json:"version"`
+	Objective string  `json:"objective"`
+	Value     float64 `json:"value"`
+	Threshold float64 `json:"threshold"`
+}
+
+// SLO returns the server's SLO engine (nil without WithSLO) — the hook
+// for a fleet gateway that wants verdicts without HTTP hops, and for
+// tests that drive the engine's clock.
+func (s *Server) SLO() *slo.Engine { return s.slo }
+
+func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
+	if s.slo == nil {
+		writeJSON(w, http.StatusOK, HealthResponse{Status: "ok"})
+		return
+	}
+	v := s.slo.Evaluate()
+	resp := HealthResponse{Status: "ok", SLO: true, State: v.State}
+	status := http.StatusOK
+	if !v.Healthy {
+		resp.Status = "burning"
+		status = http.StatusServiceUnavailable
+		for _, t := range v.Targets {
+			for _, o := range t.Objectives {
+				if o.State == slo.StateFastBurn {
+					resp.Burning = append(resp.Burning, BurningObjective{
+						Model: t.Model, Version: t.Version,
+						Objective: o.Name, Value: o.Value, Threshold: o.Threshold,
+					})
+				}
+			}
+		}
+	}
+	writeJSON(w, status, resp)
+}
+
+func (s *Server) handleSLO(w http.ResponseWriter, r *http.Request) {
+	if s.slo == nil {
+		http.Error(w, "no SLO engine configured (edge.WithSLO)", http.StatusNotFound)
+		return
+	}
+	writeJSON(w, http.StatusOK, s.slo.Evaluate())
+}

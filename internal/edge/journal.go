@@ -3,6 +3,7 @@ package edge
 import (
 	"context"
 	"net/http"
+	"strings"
 	"sync"
 	"time"
 
@@ -33,13 +34,20 @@ type JournalEntry struct {
 	Status         int       `json:"status"`
 	DurationMicros int64     `json:"duration_micros"`
 	Model          string    `json:"model,omitempty"`
-	Codec          string    `json:"codec,omitempty"`
-	PayloadBytes   int64     `json:"payload_bytes,omitempty"`
-	Samples        int       `json:"samples,omitempty"`
-	Pred           *int      `json:"pred,omitempty"`
-	Entropy        *float64  `json:"entropy,omitempty"`
-	BinaryPred     *int      `json:"binary_pred,omitempty"`
-	Agree          *bool     `json:"agree,omitempty"`
+	// Version is the model version that served this request (infer only).
+	Version      string   `json:"version,omitempty"`
+	Codec        string   `json:"codec,omitempty"`
+	PayloadBytes int64    `json:"payload_bytes,omitempty"`
+	Samples      int      `json:"samples,omitempty"`
+	Pred         *int     `json:"pred,omitempty"`
+	Entropy      *float64 `json:"entropy,omitempty"`
+	BinaryPred   *int     `json:"binary_pred,omitempty"`
+	Agree        *bool    `json:"agree,omitempty"`
+	// TraceID is the request's trace identity (the X-LCRS-Trace parent's
+	// ID when the client sent one, the request ID otherwise), and Spans
+	// the client→edge waterfall resolved at /v1/debug/trace/{id}.
+	TraceID string `json:"trace_id,omitempty"`
+	Spans   []Span `json:"spans,omitempty"`
 }
 
 // journal is the bounded ring. One small mutex-guarded copy per request is
@@ -85,6 +93,7 @@ func (j *journal) snapshot() []JournalEntry {
 type reqInfo struct {
 	id           string
 	model        string
+	version      string
 	codec        string
 	payloadBytes int64
 	samples      int
@@ -92,6 +101,14 @@ type reqInfo struct {
 	entropy      *float64
 	binaryPred   *int
 	agree        *bool
+	// Trace propagation: traceID resolves from the X-LCRS-Trace parent
+	// (falling back to the request ID), clientLocal/clientEncode are the
+	// client-side stage micros the header carried, and spans is the
+	// finished waterfall handleInfer builds on success.
+	traceID      string
+	clientLocal  int64
+	clientEncode int64
+	spans        []Span
 }
 
 type ctxKey int
@@ -103,9 +120,17 @@ func reqInfoFrom(ctx context.Context) *reqInfo {
 	return info
 }
 
-// journalSkip lists paths whose self-traffic would flood the journal.
+// journalSkip lists paths whose self-traffic would flood the journal:
+// the observability endpoints themselves (/metrics scrapes, debug views)
+// and the health/SLO probes a load balancer hits every few seconds.
+// Windowed SLO metrics don't need this list — they are fed exclusively
+// inside handleInfer, so probe and scrape traffic can never reach them —
+// but the journal ring sees every request and must skip explicitly, or
+// a 2s probe interval would evict the inferences someone is debugging.
 func journalSkip(path string) bool {
-	return path == "/metrics" || path == "/v1/debug/requests"
+	return path == "/metrics" ||
+		path == "/v1/health" || path == "/v1/healthz" || path == "/v1/slo" ||
+		strings.HasPrefix(path, "/v1/debug/")
 }
 
 // traced is the single per-request middleware: it resolves the request ID
@@ -119,7 +144,18 @@ func (s *Server) traced(h http.Handler) http.Handler {
 			id = collab.NewRequestID()
 		}
 		info := &reqInfo{id: id}
+		if tp, ok := collab.ParseTrace(r.Header.Get(collab.TraceHeader)); ok {
+			info.traceID = tp.ID
+			info.clientLocal = tp.LocalMicros
+			info.clientEncode = tp.EncodeMicros
+		}
+		if info.traceID == "" {
+			// The request ID doubles as the trace ID so every journaled
+			// request is trace-addressable, header or not.
+			info.traceID = id
+		}
 		w.Header().Set(collab.RequestIDHeader, id)
+		w.Header().Set(collab.TraceHeader, info.traceID)
 		rec := &statusRecorder{ResponseWriter: w, status: http.StatusOK}
 		start := time.Now()
 		h.ServeHTTP(rec, r.WithContext(context.WithValue(r.Context(), reqInfoKey, info)))
@@ -151,10 +187,11 @@ func (s *Server) traced(h http.Handler) http.Handler {
 			s.journal.add(JournalEntry{
 				ID: id, Time: start.UTC(), Method: r.Method, Path: r.URL.Path,
 				Status: rec.status, DurationMicros: dur.Microseconds(),
-				Model: info.model, Codec: info.codec,
+				Model: info.model, Version: info.version, Codec: info.codec,
 				PayloadBytes: info.payloadBytes, Samples: info.samples,
 				Pred: info.pred, Entropy: info.entropy,
 				BinaryPred: info.binaryPred, Agree: info.agree,
+				TraceID: info.traceID, Spans: info.spans,
 			})
 		}
 	})

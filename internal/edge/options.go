@@ -7,6 +7,7 @@ import (
 
 	"lcrs/internal/exitpolicy"
 	"lcrs/internal/obs"
+	"lcrs/internal/slo"
 )
 
 // Option configures a Server at construction. Options are applied in
@@ -42,6 +43,18 @@ func New(opts ...Option) (*Server, error) {
 		if err := opt(s); err != nil {
 			return nil, err
 		}
+	}
+	if s.sloCfg != nil {
+		// Built after all options so WithSLO/WithMetrics/WithClock compose
+		// in any order: the engine binds to the final registry and clock.
+		eng, err := slo.New(*s.sloCfg, s.metrics)
+		if err != nil {
+			return nil, fmt.Errorf("edge: %w", err)
+		}
+		if s.clock != nil {
+			eng.SetClock(s.clock)
+		}
+		s.slo = eng
 	}
 	return s, nil
 }
@@ -147,6 +160,36 @@ func WithAnswerCache(n int) Option {
 			n = 0
 		}
 		s.answerCap = n
+		return nil
+	}
+}
+
+// WithSLO turns on windowed SLO evaluation (internal/slo, DESIGN.md §16):
+// every subsequently activated model version gets its own trailing-window
+// aggregates (latency, errors, agreement, exit decisions, cache traffic),
+// the configured objectives are graded over them with fast/slow burn
+// states, GET /v1/health answers 503 while any objective fast-burns, GET
+// /v1/slo serves the full verdict, and the lcrs_slo_* / lcrs_window_*
+// gauge families export the same evaluation per scrape. cfg is validated
+// here so a bad configuration fails construction.
+func WithSLO(cfg slo.Config) Option {
+	return func(s *Server) error {
+		if err := cfg.Validate(); err != nil {
+			return fmt.Errorf("edge: %w", err)
+		}
+		s.sloCfg = &cfg
+		return nil
+	}
+}
+
+// WithClock injects the time source windowed aggregation and SLO burn
+// horizons read (nil keeps the wall clock, the default). Latency values
+// are still measured with the monotonic clock — only window placement
+// and expiry follow the injected time — so deterministic tests can march
+// a fake clock through burn-and-recover scenarios without sleeping.
+func WithClock(now func() time.Time) Option {
+	return func(s *Server) error {
+		s.clock = now
 		return nil
 	}
 }

@@ -328,6 +328,12 @@ func (s *Server) buildEntry(name string, st *staged) (*entry, error) {
 		// answers computed by the weights it replaced.
 		e.cache = newAnswerCache(answerCap, e.stats.CacheEvictions)
 	}
+	if s.slo != nil {
+		// The engine's get-or-create keyed on (model, version) means a
+		// re-activated version resumes its windowed series and the gauge
+		// closures registered on first activation keep reading live data.
+		e.win = s.slo.Target(name, st.version)
+	}
 	return e, nil
 }
 

@@ -1,0 +1,209 @@
+package edge
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"lcrs/internal/collab"
+)
+
+// TestTraceEndpoint drives a traced inference end to end: the client's
+// X-LCRS-Trace parent (ID + client stage micros) lands in the journal,
+// /v1/debug/trace/{id} renders the full waterfall, and the client spans
+// precede the edge spans on the cumulative timeline.
+func TestTraceEndpoint(t *testing.T) {
+	s := newServer(t, WithJournal(16))
+	m := testModel(t)
+	if _, err := s.Register("demo", m); err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(s.Handler())
+	defer srv.Close()
+
+	frame := goodFrame(t, m)
+	req, _ := http.NewRequest("POST", srv.URL+"/v1/infer/demo", bytes.NewReader(frame))
+	req.Header.Set(collab.RequestIDHeader, "trace-req-1")
+	req.Header.Set(collab.TraceHeader, collab.TraceParent{
+		ID: "trace-req-1", LocalMicros: 1500, EncodeMicros: 40,
+	}.Format())
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("infer: %s", resp.Status)
+	}
+	// The edge echoes the resolved trace ID.
+	if got := resp.Header.Get(collab.TraceHeader); got != "trace-req-1" {
+		t.Fatalf("trace header echo = %q", got)
+	}
+
+	var tr TraceResponse
+	getJSON(t, srv.URL+"/v1/debug/trace/trace-req-1", &tr)
+	if tr.TraceID != "trace-req-1" || tr.Entry.Model != "demo" || tr.Entry.Status != 200 {
+		t.Fatalf("trace response = %+v", tr)
+	}
+	if len(tr.Spans) < 3 {
+		t.Fatalf("waterfall too short: %+v", tr.Spans)
+	}
+	// Client spans first, at their header-shipped durations, then edge
+	// stages; offsets are cumulative and non-overlapping.
+	if tr.Spans[0].Name != "client.local" || tr.Spans[0].StartMicros != 0 || tr.Spans[0].DurationMicros != 1500 {
+		t.Fatalf("first span = %+v", tr.Spans[0])
+	}
+	if tr.Spans[1].Name != "client.encode" || tr.Spans[1].StartMicros != 1500 || tr.Spans[1].DurationMicros != 40 {
+		t.Fatalf("second span = %+v", tr.Spans[1])
+	}
+	var at, total int64
+	sawForward := false
+	for _, sp := range tr.Spans {
+		if sp.StartMicros != at {
+			t.Fatalf("span %s starts at %d, want cumulative %d: %+v", sp.Name, sp.StartMicros, at, tr.Spans)
+		}
+		if sp.DurationMicros <= 0 {
+			t.Fatalf("zero-duration spans must be elided: %+v", sp)
+		}
+		if sp.Name == "edge.forward" {
+			sawForward = true
+		}
+		at += sp.DurationMicros
+		total += sp.DurationMicros
+	}
+	if !sawForward {
+		t.Fatalf("edge.forward span missing (offloaded inference must run the model): %+v", tr.Spans)
+	}
+	if tr.TotalMicros != total {
+		t.Fatalf("TotalMicros = %d, want %d", tr.TotalMicros, total)
+	}
+
+	// Without a trace header the request ID doubles as the trace ID, so
+	// every journaled inference stays trace-addressable.
+	req2, _ := http.NewRequest("POST", srv.URL+"/v1/infer/demo", bytes.NewReader(frame))
+	req2.Header.Set(collab.RequestIDHeader, "plain-req-2")
+	resp2, err := http.DefaultClient.Do(req2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp2.Body)
+	resp2.Body.Close()
+	getJSON(t, srv.URL+"/v1/debug/trace/plain-req-2", &tr)
+	if tr.TraceID != "plain-req-2" || len(tr.Spans) == 0 {
+		t.Fatalf("headerless trace = %+v", tr)
+	}
+	if tr.Spans[0].Name == "client.local" || tr.Spans[0].Name == "client.encode" {
+		t.Fatalf("no client stages were shipped, yet spans start with %+v", tr.Spans[0])
+	}
+
+	// Error shapes: missing ID is 400, unknown ID 404.
+	for _, c := range []struct {
+		path string
+		want int
+	}{
+		{"/v1/debug/trace/", http.StatusBadRequest},
+		{"/v1/debug/trace/no-such-id", http.StatusNotFound},
+	} {
+		r, err := http.Get(srv.URL + c.path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		io.Copy(io.Discard, r.Body)
+		r.Body.Close()
+		if r.StatusCode != c.want {
+			t.Fatalf("GET %s = %d, want %d", c.path, r.StatusCode, c.want)
+		}
+	}
+
+	// A journal-less server answers 404, not a panic.
+	s2 := newServer(t, WithJournal(-1))
+	srv2 := httptest.NewServer(s2.Handler())
+	defer srv2.Close()
+	r, err := http.Get(srv2.URL + "/v1/debug/trace/whatever")
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, r.Body)
+	r.Body.Close()
+	if r.StatusCode != http.StatusNotFound {
+		t.Fatalf("journal-less trace = %d, want 404", r.StatusCode)
+	}
+}
+
+// TestBuildSpans pins the timeline construction directly: cumulative
+// offsets, zero-stage elision, and client stages ahead of edge stages.
+func TestBuildSpans(t *testing.T) {
+	var tr trace
+	tr.stages[stageRead] = 10 * time.Millisecond
+	tr.stages[stageForward] = 500 * time.Nanosecond // rounds to 0us: elided
+	spans := buildSpans(200, 0, &tr)
+	if len(spans) != 2 {
+		t.Fatalf("spans = %+v", spans)
+	}
+	if spans[0].Name != "client.local" || spans[0].DurationMicros != 200 {
+		t.Fatalf("spans[0] = %+v", spans[0])
+	}
+	if spans[1].Name != "edge.read" || spans[1].StartMicros != 200 || spans[1].DurationMicros != 10000 {
+		t.Fatalf("spans[1] = %+v", spans[1])
+	}
+	if got := buildSpans(0, 0, &trace{}); len(got) != 0 {
+		t.Fatalf("all-zero trace must yield no spans, got %+v", got)
+	}
+}
+
+// TestJournalCarriesTrace checks the journal view exposes the trace
+// identity and spans for correlation without the trace endpoint.
+func TestJournalCarriesTrace(t *testing.T) {
+	s := newServer(t, WithJournal(4))
+	m := testModel(t)
+	if _, err := s.Register("demo", m); err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(s.Handler())
+	defer srv.Close()
+
+	req, _ := http.NewRequest("POST", srv.URL+"/v1/infer/demo", bytes.NewReader(goodFrame(t, m)))
+	req.Header.Set(collab.TraceHeader, "side-trace;local=9")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+
+	var entries []JournalEntry
+	getJSON(t, srv.URL+"/v1/debug/requests", &entries)
+	if len(entries) != 1 {
+		t.Fatalf("journal = %+v", entries)
+	}
+	e := entries[0]
+	// The client named its own trace ID, distinct from the request ID.
+	if e.TraceID != "side-trace" || e.TraceID == e.ID {
+		t.Fatalf("trace ID = %q (request ID %q)", e.TraceID, e.ID)
+	}
+	if e.Version == "" {
+		t.Fatal("journal entry must carry the serving version")
+	}
+	if len(e.Spans) == 0 {
+		t.Fatalf("journal entry missing spans: %+v", e)
+	}
+	raw, _ := json.Marshal(e)
+	if !bytes.Contains(raw, []byte(`"trace_id":"side-trace"`)) {
+		t.Fatalf("trace_id not serialized: %s", raw)
+	}
+	// Addressable by either identity.
+	var tr TraceResponse
+	getJSON(t, srv.URL+"/v1/debug/trace/side-trace", &tr)
+	if tr.Entry.ID != e.ID {
+		t.Fatalf("trace lookup by trace ID = %+v", tr.Entry)
+	}
+	getJSON(t, srv.URL+"/v1/debug/trace/"+e.ID, &tr)
+	if tr.TraceID != "side-trace" {
+		t.Fatalf("trace lookup by request ID = %+v", tr)
+	}
+}

@@ -10,6 +10,7 @@ import (
 	"lcrs/internal/exitpolicy"
 	"lcrs/internal/models"
 	"lcrs/internal/obs"
+	"lcrs/internal/slo"
 	"lcrs/internal/tensor"
 )
 
@@ -60,9 +61,12 @@ func BenchmarkTracedInfer(b *testing.B) {
 // time.Now pairs the handler adds, the per-stage histogram observes, the
 // decision-telemetry observes (two histograms, four counters), one tau
 // controller observation (a mutex-guarded windowed accumulate, the
-// steady-state cost of WithTauControl), and one journal ring write —
-// everything the telemetry and control layers charge a request.
-func traceCost(iters int, st *modelStats, tc *tauControl, j *journal) time.Duration {
+// steady-state cost of WithTauControl), the SLO window maintenance a
+// WithSLO server charges (one windowed latency observe plus four counter
+// adds, all epoch-checked atomics), the span-timeline build, and one
+// journal ring write — everything the telemetry, control and SLO layers
+// charge a request.
+func traceCost(iters int, st *modelStats, tc *tauControl, win *slo.Target, j *journal) time.Duration {
 	tel := &collab.Telemetry{Entropy: 0.6, Tau: 0.3, BinaryPred: 3, LocalExits: 1}
 	start := time.Now()
 	for i := 0; i < iters; i++ {
@@ -76,15 +80,36 @@ func traceCost(iters int, st *modelStats, tc *tauControl, j *journal) time.Durat
 			tc.observe(tel, 1, 3)
 		}
 		st.decision.observe(1, tel, 3)
+		if win != nil {
+			win.ObserveInfer(150*time.Microsecond, false)
+			win.ObserveExits(1, 1)
+			win.ObserveAgreement(true)
+			win.ObserveCache(false)
+		}
+		spans := buildSpans(1200, 40, &tr)
 		if j != nil {
 			pred := 3
 			j.add(JournalEntry{ID: "bench-0123456789ab", Method: "POST",
 				Path: "/v1/infer/bench", Status: 200, Model: "bench",
 				Codec: "raw", Samples: 1, Pred: &pred,
-				Entropy: &tel.Entropy, BinaryPred: &tel.BinaryPred})
+				Entropy: &tel.Entropy, BinaryPred: &tel.BinaryPred,
+				TraceID: "bench-0123456789ab", Spans: spans})
 		}
 	}
 	return time.Since(start)
+}
+
+// benchSLOTarget builds a production-shaped SLO target for charging the
+// per-request window maintenance into the trace budget.
+func benchSLOTarget(tb testing.TB, model string) *slo.Target {
+	eng, err := slo.New(slo.Config{
+		LatencyP99: 50 * time.Millisecond, MaxErrorRate: 0.05,
+		MinAgreement: 0.8, ExitRateMin: 0.2, ExitRateMax: 0.9,
+	}, nil)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	return eng.Target(model, "v-bench")
 }
 
 // benchTauControl builds a controller like a WithTauControl registration
@@ -106,9 +131,10 @@ func BenchmarkTraceObserve(b *testing.B) {
 	reg := obs.NewRegistry()
 	st := newModelStats(reg, "bench")
 	tc := benchTauControl(b, reg, "bench")
+	win := benchSLOTarget(b, "bench")
 	b.ReportAllocs()
 	b.ResetTimer()
-	traceCost(b.N, st, tc, newJournal(DefaultJournalSize))
+	traceCost(b.N, st, tc, win, newJournal(DefaultJournalSize))
 }
 
 // TestTracingOverheadBudget is the <2% guard: per-request tracing cost
@@ -139,8 +165,9 @@ func TestTracingOverheadBudget(t *testing.T) {
 	reg := obs.NewRegistry()
 	st := newModelStats(reg, "budget")
 	tc := benchTauControl(t, reg, "budget")
+	win := benchSLOTarget(t, "budget")
 	const traces = 10000
-	perTrace := traceCost(traces, st, tc, newJournal(DefaultJournalSize)) / traces
+	perTrace := traceCost(traces, st, tc, win, newJournal(DefaultJournalSize)) / traces
 
 	if st.stage[stageForward].Count() != traces {
 		t.Fatalf("observed %d traces, want %d", st.stage[stageForward].Count(), traces)

@@ -118,36 +118,59 @@ func (h *Histogram) Buckets() (bounds []float64, counts []int64) {
 	return h.bounds, counts
 }
 
+// NoData is returned by quantile estimators when there are no
+// observations to estimate from. It is a plain finite sentinel (never
+// NaN, so it survives JSON encoding and float comparisons) and is
+// negative, which no latency/entropy histogram in this codebase can
+// produce, so `q < 0` is the complete "no data" test. SLO evaluation
+// depends on the distinction: an empty window means "no traffic", not
+// "p99 = 0s", and must park the objective in its no_data state instead
+// of reporting a vacuously healthy latency.
+const NoData = -1
+
 // Quantile estimates the q-quantile (q in [0,1]) from the bucket counts
 // with linear interpolation inside the holding bucket — the usual
 // Prometheus histogram_quantile estimate, so dashboards and the JSON
-// views agree. The first bucket interpolates from max(0, its own width
-// below its bound); observations beyond the last bound saturate to it.
-// Returns 0 when the histogram is empty.
+// views agree. Edge cases, all deterministic:
+//   - Empty histogram: returns NoData (never NaN or a misleading 0).
+//   - Single populated bucket: every quantile interpolates linearly
+//     across that bucket's width (from the previous bound, or 0 for the
+//     first bucket), so q=0 gives the bucket's lower edge and q=1 its
+//     upper bound — the estimate never leaves the bucket that holds all
+//     the data.
+//   - Observations beyond the last bound saturate to it.
 func (h *Histogram) Quantile(q float64) float64 {
+	_, counts := h.Buckets()
+	return quantileFromCounts(h.bounds, counts, q)
+}
+
+// quantileFromCounts is the shared estimator behind Histogram.Quantile
+// and WindowedHistogram.Quantile: counts has one entry per bound plus
+// the +Inf overflow bucket last. Returns NoData when counts are all
+// zero.
+func quantileFromCounts(bounds []float64, counts []int64, q float64) float64 {
 	if q < 0 {
 		q = 0
 	}
 	if q > 1 {
 		q = 1
 	}
-	_, counts := h.Buckets()
 	var total int64
 	for _, c := range counts {
 		total += c
 	}
 	if total == 0 {
-		return 0
+		return NoData
 	}
 	rank := q * float64(total)
 	var cum int64
 	for i, c := range counts[:len(counts)-1] {
 		cum += c
 		if float64(cum) >= rank {
-			hi := h.bounds[i]
+			hi := bounds[i]
 			lo := 0.0
 			if i > 0 {
-				lo = h.bounds[i-1]
+				lo = bounds[i-1]
 			} else if hi < 0 {
 				lo = hi // negative first bound: no interpolation anchor
 			}
@@ -159,7 +182,7 @@ func (h *Histogram) Quantile(q float64) float64 {
 		}
 	}
 	// Rank lands in the +Inf overflow bucket: saturate to the last bound.
-	return h.bounds[len(h.bounds)-1]
+	return bounds[len(bounds)-1]
 }
 
 // LatencyBuckets returns the default latency bucket bounds in seconds:

@@ -1,6 +1,7 @@
 package obs
 
 import (
+	"math"
 	"strings"
 	"sync"
 	"testing"
@@ -184,9 +185,28 @@ func TestGauges(t *testing.T) {
 func TestHistogramQuantile(t *testing.T) {
 	r := NewRegistry()
 	h := r.Histogram("q_seconds", "", []float64{1, 2, 4})
-	if got := h.Quantile(0.5); got != 0 {
-		t.Fatalf("empty histogram quantile = %v, want 0", got)
+	// Empty histogram: the NoData sentinel, never NaN and never a
+	// misleading 0 (SLO math must distinguish "no traffic" from "fast").
+	if got := h.Quantile(0.5); got != NoData {
+		t.Fatalf("empty histogram quantile = %v, want NoData (%v)", got, NoData)
 	}
+	if math.IsNaN(h.Quantile(0.99)) {
+		t.Fatal("empty histogram quantile is NaN; the sentinel must be NaN-free")
+	}
+	// Single populated bucket: quantiles interpolate across that bucket's
+	// width and never leave it.
+	h.Observe(1.5) // (1,2] bucket only
+	if got := h.Quantile(0); got != 1 {
+		t.Fatalf("single-bucket p0 = %v, want lower edge 1", got)
+	}
+	if got := h.Quantile(1); got != 2 {
+		t.Fatalf("single-bucket p100 = %v, want upper bound 2", got)
+	}
+	if got := h.Quantile(0.5); got != 1.5 {
+		t.Fatalf("single-bucket p50 = %v, want midpoint 1.5", got)
+	}
+
+	h = r.Histogram("q2_seconds", "", []float64{1, 2, 4})
 	// 10 observations uniform in (0,1], 10 in (1,2].
 	for i := 0; i < 10; i++ {
 		h.Observe(0.5)

@@ -1,0 +1,355 @@
+package obs
+
+import (
+	"fmt"
+	"math"
+	"sync/atomic"
+	"time"
+)
+
+// Windowed primitives (DESIGN.md §16). The cumulative counters and
+// histograms in this package answer "how many since boot"; SLO evaluation
+// and A/B judging need "how many in the last N seconds". A windowed
+// metric keeps a ring of fixed-duration buckets: the hot path lands an
+// observation in the bucket covering now (a couple of atomic ops, no
+// locks), and readers merge the buckets inside a trailing window into a
+// rate or quantile. Buckets are recycled in place — a bucket whose epoch
+// has rotated out of the window is claimed for the current epoch by the
+// first writer to reach it — so a windowed metric's memory is fixed at
+// construction and maintenance costs nothing when traffic stops.
+//
+// Precision contract: windows are statistical views, not ledgers.
+//   - The trailing window rounds to bucket granularity: a query for the
+//     last D seconds covers every bucket that overlaps (now-D, now], so
+//     up to one bucket-duration of older observations may be included.
+//   - At a bucket rotation, a writer racing the bucket's recycling can
+//     have its single observation attributed to the wrong epoch or
+//     dropped. The skew is bounded by the number of concurrently racing
+//     writers at that instant and only matters at window edges; the
+//     cumulative families remain exact and are the system of record.
+//
+// Determinism: both types read time through an injectable clock
+// (SetClock), so tests and benchmarks can drive rotation explicitly and
+// assert exact bucket contents.
+
+// windowClock is the time source; a nil clock means time.Now.
+type windowClock func() time.Time
+
+// windowSpec validates and normalizes a window layout.
+func windowSpec(window time.Duration, buckets int) (time.Duration, int) {
+	if buckets <= 0 {
+		panic(fmt.Sprintf("obs: window bucket count %d must be positive", buckets))
+	}
+	if window <= 0 || window%time.Duration(buckets) != 0 && window/time.Duration(buckets) <= 0 {
+		panic(fmt.Sprintf("obs: window %v must be positive", window))
+	}
+	per := window / time.Duration(buckets)
+	if per <= 0 {
+		panic(fmt.Sprintf("obs: window %v too short for %d buckets", window, buckets))
+	}
+	return per, buckets
+}
+
+// WindowedCounter counts events over a trailing window: a ring of
+// fixed-duration buckets, each an (epoch, count) pair of atomics. Add is
+// lock-free; Total/Rate merge the buckets still inside the window.
+type WindowedCounter struct {
+	clock    atomic.Pointer[windowClock]
+	bucketNS int64
+	createNS int64
+	buckets  []windowBucket
+}
+
+type windowBucket struct {
+	epoch atomic.Int64
+	count atomic.Int64
+}
+
+// NewWindowedCounter returns a counter covering the trailing window with
+// the given number of ring buckets (finer buckets, smoother roll-off).
+// window must divide evenly into buckets of positive duration.
+func NewWindowedCounter(window time.Duration, buckets int) *WindowedCounter {
+	per, n := windowSpec(window, buckets)
+	w := &WindowedCounter{
+		bucketNS: int64(per),
+		buckets:  make([]windowBucket, n),
+	}
+	w.createNS = w.nowNS()
+	// Epochs start at 0; mark every bucket as holding no epoch so epoch 0
+	// observations are not confused with virgin buckets.
+	for i := range w.buckets {
+		w.buckets[i].epoch.Store(-1)
+	}
+	return w
+}
+
+// SetClock injects a time source (nil restores time.Now). Intended for
+// tests; call before concurrent use. The creation time is re-read so
+// warm-up-aware rates stay consistent with the injected timeline.
+func (w *WindowedCounter) SetClock(clock func() time.Time) {
+	if clock == nil {
+		w.clock.Store(nil)
+	} else {
+		c := windowClock(clock)
+		w.clock.Store(&c)
+	}
+	atomic.StoreInt64(&w.createNS, w.nowNS())
+}
+
+func (w *WindowedCounter) nowNS() int64 {
+	if c := w.clock.Load(); c != nil {
+		return (*c)().UnixNano()
+	}
+	return time.Now().UnixNano()
+}
+
+// Inc adds one to the current bucket.
+func (w *WindowedCounter) Inc() { w.Add(1) }
+
+// Add adds n to the bucket covering now, recycling the ring slot in place
+// when its epoch has rotated out. Lock-free: the first writer of a new
+// epoch claims the slot with a CAS; losers retry against the published
+// epoch.
+func (w *WindowedCounter) Add(n int64) {
+	e := w.nowNS() / w.bucketNS
+	b := &w.buckets[int(e%int64(len(w.buckets)))]
+	for {
+		be := b.epoch.Load()
+		switch {
+		case be == e:
+			b.count.Add(n)
+			return
+		case be > e:
+			// The slot already belongs to a newer epoch (clock skew between
+			// writers): fold into it rather than lose the observation.
+			b.count.Add(n)
+			return
+		default:
+			if b.epoch.CompareAndSwap(be, e) {
+				b.count.Store(n)
+				return
+			}
+		}
+	}
+}
+
+// Total returns the count over the full trailing window.
+func (w *WindowedCounter) Total() int64 { return w.TotalWithin(w.Window()) }
+
+// TotalWithin returns the count over the trailing d (rounded up to bucket
+// granularity and clamped to the full window).
+func (w *WindowedCounter) TotalWithin(d time.Duration) int64 {
+	minE, maxE := w.epochRange(d)
+	var total int64
+	for i := range w.buckets {
+		if e := w.buckets[i].epoch.Load(); e >= minE && e <= maxE {
+			total += w.buckets[i].count.Load()
+		}
+	}
+	return total
+}
+
+// Rate returns events per second over the full trailing window.
+func (w *WindowedCounter) Rate() float64 { return w.RateWithin(w.Window()) }
+
+// RateWithin returns events per second over the trailing d. The divisor
+// is the wall time the included buckets actually cover — clamped to the
+// metric's age, so a freshly created counter under load reports its true
+// rate instead of diluting over an empty window.
+func (w *WindowedCounter) RateWithin(d time.Duration) float64 {
+	covered := w.coveredSeconds(d)
+	if covered <= 0 {
+		return 0
+	}
+	return float64(w.TotalWithin(d)) / covered
+}
+
+// Window returns the full trailing window this counter covers.
+func (w *WindowedCounter) Window() time.Duration {
+	return time.Duration(w.bucketNS * int64(len(w.buckets)))
+}
+
+// epochRange maps a trailing duration onto inclusive epoch bounds.
+func (w *WindowedCounter) epochRange(d time.Duration) (minE, maxE int64) {
+	if d <= 0 || d > w.Window() {
+		d = w.Window()
+	}
+	now := w.nowNS()
+	maxE = now / w.bucketNS
+	minE = (now - int64(d)) / w.bucketNS
+	if lowest := maxE - int64(len(w.buckets)) + 1; minE < lowest {
+		minE = lowest
+	}
+	return minE, maxE
+}
+
+// coveredSeconds is the wall time the buckets of a trailing-d query span,
+// clamped to the counter's age.
+func (w *WindowedCounter) coveredSeconds(d time.Duration) float64 {
+	minE, _ := w.epochRange(d)
+	now := w.nowNS()
+	start := minE * w.bucketNS
+	if created := atomic.LoadInt64(&w.createNS); start < created {
+		start = created
+	}
+	return float64(now-start) / float64(time.Second)
+}
+
+// WindowedHistogram is a fixed-bucket histogram over a trailing window: a
+// ring of time slots, each holding its own value-bucket counts, count and
+// sum. Observe is lock-free like WindowedCounter.Add; Quantile and the
+// other readers merge the live slots into one snapshot first, so a
+// windowed p99 is computed exactly the way Histogram.Quantile computes
+// the cumulative one (shared interpolation, shared NoData sentinel).
+type WindowedHistogram struct {
+	clock    atomic.Pointer[windowClock]
+	bucketNS int64
+	bounds   []float64
+	slots    []histSlot
+}
+
+type histSlot struct {
+	epoch  atomic.Int64
+	counts []atomic.Int64 // len(bounds)+1, +Inf overflow last
+	count  atomic.Int64
+	sum    atomic.Uint64 // float64 bits
+}
+
+// NewWindowedHistogram returns a histogram with the given inclusive upper
+// bounds covering the trailing window with the given number of time
+// slots.
+func NewWindowedHistogram(bounds []float64, window time.Duration, buckets int) *WindowedHistogram {
+	for i := 1; i < len(bounds); i++ {
+		if bounds[i] <= bounds[i-1] {
+			panic(fmt.Sprintf("obs: histogram bounds not strictly increasing: %v", bounds))
+		}
+	}
+	per, n := windowSpec(window, buckets)
+	w := &WindowedHistogram{
+		bucketNS: int64(per),
+		bounds:   append([]float64(nil), bounds...),
+		slots:    make([]histSlot, n),
+	}
+	for i := range w.slots {
+		w.slots[i].epoch.Store(-1)
+		w.slots[i].counts = make([]atomic.Int64, len(bounds)+1)
+	}
+	return w
+}
+
+// SetClock injects a time source (nil restores time.Now); for tests,
+// before concurrent use.
+func (w *WindowedHistogram) SetClock(clock func() time.Time) {
+	if clock == nil {
+		w.clock.Store(nil)
+		return
+	}
+	c := windowClock(clock)
+	w.clock.Store(&c)
+}
+
+func (w *WindowedHistogram) nowNS() int64 {
+	if c := w.clock.Load(); c != nil {
+		return (*c)().UnixNano()
+	}
+	return time.Now().UnixNano()
+}
+
+// Observe records one value into the slot covering now. Rotation recycles
+// a slot in place: the claiming writer zeroes the value buckets before
+// adding its own observation. A reader overlapping the zeroing can see a
+// partially reset slot — the bounded-skew contract in the package doc.
+func (w *WindowedHistogram) Observe(v float64) {
+	e := w.nowNS() / w.bucketNS
+	s := &w.slots[int(e%int64(len(w.slots)))]
+	for {
+		se := s.epoch.Load()
+		if se >= e {
+			break // live slot (or newer under clock skew): fold in
+		}
+		if s.epoch.CompareAndSwap(se, e) {
+			for i := range s.counts {
+				s.counts[i].Store(0)
+			}
+			s.count.Store(0)
+			s.sum.Store(0)
+			break
+		}
+	}
+	i := searchBounds(w.bounds, v)
+	s.counts[i].Add(1)
+	s.count.Add(1)
+	for {
+		old := s.sum.Load()
+		next := math.Float64bits(math.Float64frombits(old) + v)
+		if s.sum.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// ObserveDuration records a duration in seconds.
+func (w *WindowedHistogram) ObserveDuration(d time.Duration) { w.Observe(d.Seconds()) }
+
+// Window returns the full trailing window this histogram covers.
+func (w *WindowedHistogram) Window() time.Duration {
+	return time.Duration(w.bucketNS * int64(len(w.slots)))
+}
+
+// Snapshot merges the slots inside the trailing d into one mergeable
+// bucket snapshot: per-bound counts (overflow last), total count and sum.
+// d <= 0 or beyond the window snapshots the full window.
+func (w *WindowedHistogram) Snapshot(d time.Duration) (counts []int64, count int64, sum float64) {
+	if d <= 0 || d > w.Window() {
+		d = w.Window()
+	}
+	now := w.nowNS()
+	maxE := now / w.bucketNS
+	minE := (now - int64(d)) / w.bucketNS
+	if lowest := maxE - int64(len(w.slots)) + 1; minE < lowest {
+		minE = lowest
+	}
+	counts = make([]int64, len(w.bounds)+1)
+	for i := range w.slots {
+		s := &w.slots[i]
+		if e := s.epoch.Load(); e < minE || e > maxE {
+			continue
+		}
+		for j := range counts {
+			counts[j] += s.counts[j].Load()
+		}
+		count += s.count.Load()
+		sum += math.Float64frombits(s.sum.Load())
+	}
+	return counts, count, sum
+}
+
+// Count returns the number of observations in the trailing d.
+func (w *WindowedHistogram) Count(d time.Duration) int64 {
+	_, count, _ := w.Snapshot(d)
+	return count
+}
+
+// Quantile estimates the q-quantile over the trailing d with the same
+// bucket interpolation as Histogram.Quantile, and the same empty-data
+// contract: NoData (never NaN) when the window holds no observations, so
+// SLO math can tell "no traffic" from "fast".
+func (w *WindowedHistogram) Quantile(q float64, d time.Duration) float64 {
+	counts, _, _ := w.Snapshot(d)
+	return quantileFromCounts(w.bounds, counts, q)
+}
+
+// searchBounds returns the index of the first bound >= v (len(bounds) for
+// the overflow bucket) — the shared bucketing rule of Histogram.Observe.
+func searchBounds(bounds []float64, v float64) int {
+	lo, hi := 0, len(bounds)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if bounds[mid] < v {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}

@@ -1,0 +1,267 @@
+package obs
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+// fakeClock is a manually advanced time source for deterministic window
+// tests. The mutex makes it safe to advance from one goroutine while
+// writers read it from others.
+type fakeClock struct {
+	mu  sync.Mutex
+	now time.Time
+}
+
+func newFakeClock() *fakeClock {
+	return &fakeClock{now: time.Unix(1000, 0)}
+}
+
+func (c *fakeClock) Now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.now
+}
+
+func (c *fakeClock) Advance(d time.Duration) {
+	c.mu.Lock()
+	c.now = c.now.Add(d)
+	c.mu.Unlock()
+}
+
+func TestWindowedCounterRotation(t *testing.T) {
+	clk := newFakeClock()
+	w := NewWindowedCounter(10*time.Second, 10) // 1s buckets
+	w.SetClock(clk.Now)
+
+	// 3 events now, 2 events 4s later.
+	w.Add(3)
+	clk.Advance(4 * time.Second)
+	w.Add(2)
+
+	if got := w.Total(); got != 5 {
+		t.Fatalf("Total = %d, want 5", got)
+	}
+	if got := w.TotalWithin(2 * time.Second); got != 2 {
+		t.Fatalf("TotalWithin(2s) = %d, want 2 (only the recent burst)", got)
+	}
+
+	// Advance until the first burst's bucket leaves the window: its epoch
+	// is now-4s, so after 6 more seconds it is exactly 10s old and out.
+	clk.Advance(7 * time.Second)
+	if got := w.Total(); got != 2 {
+		t.Fatalf("Total after first burst expired = %d, want 2", got)
+	}
+	// And until everything is out.
+	clk.Advance(10 * time.Second)
+	if got := w.Total(); got != 0 {
+		t.Fatalf("Total after full expiry = %d, want 0", got)
+	}
+}
+
+// Ring slots are recycled in place: an epoch landing on the same slot as
+// an expired one must reset the count, not accumulate into stale data.
+func TestWindowedCounterBucketRecycle(t *testing.T) {
+	clk := newFakeClock()
+	w := NewWindowedCounter(4*time.Second, 4) // 1s buckets, ring of 4
+	w.SetClock(clk.Now)
+
+	w.Add(100)
+	// 4 seconds later the same ring slot is reused for a new epoch.
+	clk.Advance(4 * time.Second)
+	w.Add(1)
+	if got := w.Total(); got != 1 {
+		t.Fatalf("recycled slot Total = %d, want 1 (stale 100 must be reset)", got)
+	}
+}
+
+func TestWindowedCounterRate(t *testing.T) {
+	clk := newFakeClock()
+	w := NewWindowedCounter(10*time.Second, 10)
+	w.SetClock(clk.Now)
+
+	// 20 events over 2 seconds on a counter only 2 seconds old: the rate
+	// divisor is the covered wall time (warm-up aware), not the full
+	// 10s window — a fresh counter under load reports its true rate.
+	w.Add(10)
+	clk.Advance(2 * time.Second)
+	w.Add(10)
+	rate := w.Rate()
+	if rate < 9 || rate > 11 {
+		t.Fatalf("warm-up Rate = %v, want ~10/s (covered-duration divisor)", rate)
+	}
+
+	// Once the counter has aged past the window, the divisor is the wall
+	// time the included buckets span — between 9 and 10 seconds for a
+	// 10x1s ring, depending on where inside the current bucket now falls
+	// (bucket-granular coverage, per the package precision contract).
+	clk.Advance(20 * time.Second)
+	w.Add(30)
+	rate = w.Rate()
+	if rate < 2.9 || rate > 30.0/9.0+0.01 {
+		t.Fatalf("steady-state Rate = %v, want ~3/s (30 events over 9-10s coverage)", rate)
+	}
+	clk.Advance(500 * time.Millisecond)
+	rate = w.Rate()
+	if rate < 3.0 || rate > 3.2 {
+		t.Fatalf("mid-bucket Rate = %v, want ~3.16/s (30 events / 9.5s coverage)", rate)
+	}
+}
+
+func TestWindowedHistogramQuantile(t *testing.T) {
+	clk := newFakeClock()
+	w := NewWindowedHistogram([]float64{1, 2, 4}, 10*time.Second, 10)
+	w.SetClock(clk.Now)
+
+	// Empty window: the same NoData contract as Histogram.Quantile.
+	if got := w.Quantile(0.99, 0); got != NoData {
+		t.Fatalf("empty window quantile = %v, want NoData", got)
+	}
+
+	// Old slow observations, then fast recent ones: the trailing window
+	// must forget the slow phase once it expires.
+	for i := 0; i < 10; i++ {
+		w.Observe(3.5) // (2,4] bucket
+	}
+	clk.Advance(5 * time.Second)
+	for i := 0; i < 10; i++ {
+		w.Observe(0.5) // (0,1] bucket
+	}
+
+	// Full window sees both phases: p50 on 10+10 across (0,1] and (2,4]
+	// lands on the first bucket's upper bound.
+	if got := w.Quantile(0.5, 0); got != 1 {
+		t.Fatalf("full-window p50 = %v, want 1", got)
+	}
+	// Trailing 2s sees only the fast phase.
+	if got := w.Quantile(0.99, 2*time.Second); got > 1 {
+		t.Fatalf("trailing-2s p99 = %v, want <= 1 (slow phase excluded)", got)
+	}
+	if got := w.Count(2 * time.Second); got != 10 {
+		t.Fatalf("trailing-2s Count = %d, want 10", got)
+	}
+
+	// Expire the slow phase entirely (its bucket is 5s older).
+	clk.Advance(6 * time.Second)
+	if got := w.Quantile(1, 0); got != 1 {
+		t.Fatalf("p100 after slow phase expired = %v, want 1", got)
+	}
+	counts, count, sum := w.Snapshot(0)
+	if count != 10 || sum != 5 {
+		t.Fatalf("Snapshot count=%d sum=%v, want 10 and 5.0", count, sum)
+	}
+	if counts[0] != 10 || counts[2] != 0 {
+		t.Fatalf("Snapshot counts = %v, want the (0,1] bucket only", counts)
+	}
+
+	// Everything expires.
+	clk.Advance(11 * time.Second)
+	if got := w.Quantile(0.5, 0); got != NoData {
+		t.Fatalf("fully expired quantile = %v, want NoData", got)
+	}
+}
+
+// Boundary correctness at a bucket rotation: an observation landing
+// exactly on an epoch edge belongs to the new epoch and must survive the
+// full window length from that edge.
+func TestWindowedRotationBoundary(t *testing.T) {
+	clk := newFakeClock()
+	w := NewWindowedCounter(4*time.Second, 4)
+	w.SetClock(clk.Now)
+
+	// Land exactly on a bucket boundary.
+	clk.Advance(time.Second - time.Duration(clk.Now().UnixNano()%int64(time.Second)))
+	if clk.Now().UnixNano()%int64(time.Second) != 0 {
+		t.Fatal("test setup: not on a bucket boundary")
+	}
+	w.Inc()
+	// 3.999s later the observation's bucket is still inside the window...
+	clk.Advance(4*time.Second - time.Millisecond)
+	if got := w.Total(); got != 1 {
+		t.Fatalf("Total just inside the window = %d, want 1", got)
+	}
+	// ...and at +4s it has aged out (bucket-granular: the whole bucket
+	// leaves together).
+	clk.Advance(time.Millisecond)
+	if got := w.Total(); got != 0 {
+		t.Fatalf("Total at window edge = %d, want 0", got)
+	}
+}
+
+// Concurrent observe/rotate/snapshot under -race: many writers hammer a
+// counter and a histogram while the clock advances through several full
+// ring rotations and readers snapshot continuously. The assertions are
+// loose by design (the bounded-skew contract allows edge loss); the
+// point is that the race detector sees every interleaving.
+func TestWindowedConcurrent(t *testing.T) {
+	clk := newFakeClock()
+	wc := NewWindowedCounter(time.Second, 10)
+	wh := NewWindowedHistogram([]float64{0.5, 1}, time.Second, 10)
+	wc.SetClock(clk.Now)
+	wh.SetClock(clk.Now)
+
+	const writers = 8
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for i := 0; i < writers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+					wc.Inc()
+					wh.Observe(0.25)
+				}
+			}
+		}()
+	}
+	// Readers snapshot while writers write.
+	for i := 0; i < 2; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+					_ = wc.Total()
+					_ = wc.Rate()
+					_, _, _ = wh.Snapshot(0)
+					_ = wh.Quantile(0.99, 0)
+				}
+			}
+		}()
+	}
+	// Drive three full ring rotations from the main goroutine.
+	for i := 0; i < 30; i++ {
+		clk.Advance(100 * time.Millisecond)
+		time.Sleep(time.Millisecond)
+	}
+	close(stop)
+	wg.Wait()
+
+	if got := wc.Total(); got < 0 {
+		t.Fatalf("counter Total went negative: %d", got)
+	}
+	if q := wh.Quantile(0.5, 0); q != NoData && (q < 0 || q > 1) {
+		t.Fatalf("histogram quantile out of domain: %v", q)
+	}
+}
+
+// After a burst stops, expiry needs no background goroutine: reads alone
+// observe the decay to zero.
+func TestWindowedDecayWithoutWriters(t *testing.T) {
+	clk := newFakeClock()
+	w := NewWindowedCounter(2*time.Second, 4)
+	w.SetClock(clk.Now)
+	w.Add(7)
+	clk.Advance(3 * time.Second)
+	if got := w.Total(); got != 0 {
+		t.Fatalf("Total after idle expiry = %d, want 0 without any maintenance writer", got)
+	}
+}

@@ -1,0 +1,562 @@
+// Package slo evaluates service-level objectives over the trailing
+// windows of internal/obs (DESIGN.md §16). It answers the question the
+// cumulative metric families cannot: is the system inside its budget
+// *right now*?
+//
+// The engine tracks one Target per (model, version). A target owns the
+// windowed aggregates the edge feeds on every inference — latency,
+// errors, binary-vs-main agreement, early-exit decisions, answer-cache
+// traffic — and the engine grades each configured objective over two
+// horizons:
+//
+//   - the long window (Config.Window): a sustained violation here is a
+//     slow_burn — the budget is eroding, flag it but keep serving;
+//   - the fast window (Config.FastWindow, a trailing slice of the same
+//     ring): a violation here with enough samples is a fast_burn — the
+//     budget is torching, readiness (/v1/health) goes 503 so a fleet
+//     gateway stops routing here (the ROADMAP admission-control signal).
+//
+// An objective with fewer than MinSamples observations in the long
+// window is no_data, deliberately distinct from ok: a version that has
+// served nothing is not known-good, and obs.NoData quantiles never leak
+// into the grading as "p99 = 0s, looks fast".
+//
+// Everything /v1/slo reports is computed by the same Evaluate call that
+// backs the lcrs_slo_* gauge functions, evaluated at scrape time — the
+// two views reconcile by construction, not by synchronized bookkeeping.
+package slo
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"lcrs/internal/obs"
+)
+
+// Objective state values, exported in lcrs_slo_state in this order so a
+// dashboard can alert on `>= 2`.
+const (
+	StateNoData   = "no_data"
+	StateOK       = "ok"
+	StateSlowBurn = "slow_burn"
+	StateFastBurn = "fast_burn"
+)
+
+func stateValue(s string) float64 {
+	switch s {
+	case StateOK:
+		return 1
+	case StateSlowBurn:
+		return 2
+	case StateFastBurn:
+		return 3
+	default:
+		return 0
+	}
+}
+
+// Objective names as they appear in verdicts and the `objective` label.
+const (
+	ObjLatencyP99 = "latency_p99"
+	ObjErrorRate  = "error_rate"
+	ObjAgreement  = "agreement"
+	ObjExitRate   = "exit_rate"
+)
+
+// Config declares the objectives and the evaluation horizons. Zero
+// values for individual objectives disable them; Validate fills horizon
+// defaults.
+type Config struct {
+	// Window is the long (slow-burn) horizon. Default 60s.
+	Window time.Duration
+	// FastWindow is the fast-burn horizon, a trailing slice of the same
+	// bucket ring (must be <= Window). Default 10s.
+	FastWindow time.Duration
+	// Buckets is the ring resolution for the long window. Default 12
+	// (5s buckets for the default 60s window).
+	Buckets int
+	// MinSamples is the minimum observation count, per objective, below
+	// which the objective is no_data rather than graded. Default 20.
+	MinSamples int64
+
+	// LatencyP99 is the p99 infer-latency ceiling; 0 disables.
+	LatencyP99 time.Duration
+	// MaxErrorRate is the error-rate ceiling in [0,1]; 0 disables
+	// (an all-errors SLO of exactly zero is not gradeable anyway).
+	MaxErrorRate float64
+	// MinAgreement is the binary-vs-main agreement floor in [0,1];
+	// 0 disables.
+	MinAgreement float64
+	// ExitRateMin/Max bound the early-exit rate band; both 0 disables.
+	// The band guards the paper's operating point from both sides: an
+	// exit rate collapsing toward 0 floods the edge, one racing toward 1
+	// means the binary branch is answering everything unchecked.
+	ExitRateMin float64
+	ExitRateMax float64
+}
+
+// Validate normalizes the config, filling horizon defaults and
+// rejecting inconsistent horizons.
+func (c *Config) Validate() error {
+	if c.Window == 0 {
+		c.Window = 60 * time.Second
+	}
+	if c.FastWindow == 0 {
+		c.FastWindow = 10 * time.Second
+	}
+	if c.Buckets == 0 {
+		c.Buckets = 12
+	}
+	if c.MinSamples == 0 {
+		c.MinSamples = 20
+	}
+	if c.Window <= 0 || c.FastWindow <= 0 || c.Buckets <= 0 {
+		return fmt.Errorf("slo: horizons and buckets must be positive (window=%v fast=%v buckets=%d)",
+			c.Window, c.FastWindow, c.Buckets)
+	}
+	if c.FastWindow > c.Window {
+		return fmt.Errorf("slo: fast window %v exceeds long window %v", c.FastWindow, c.Window)
+	}
+	if c.Window%time.Duration(c.Buckets) != 0 {
+		return fmt.Errorf("slo: window %v not divisible into %d buckets", c.Window, c.Buckets)
+	}
+	for name, v := range map[string]float64{
+		"max_error_rate": c.MaxErrorRate,
+		"min_agreement":  c.MinAgreement,
+		"exit_rate_min":  c.ExitRateMin,
+		"exit_rate_max":  c.ExitRateMax,
+	} {
+		if v < 0 || v > 1 {
+			return fmt.Errorf("slo: %s %v outside [0,1]", name, v)
+		}
+	}
+	if c.ExitRateMax > 0 && c.ExitRateMin > c.ExitRateMax {
+		return fmt.Errorf("slo: exit rate band [%v,%v] inverted", c.ExitRateMin, c.ExitRateMax)
+	}
+	if c.LatencyP99 < 0 {
+		return fmt.Errorf("slo: negative latency objective %v", c.LatencyP99)
+	}
+	return nil
+}
+
+// Engine evaluates objectives over per-(model,version) targets. Targets
+// are created on first use and live for the engine's lifetime — a
+// version that was hot-swapped out keeps its windows queryable (they
+// decay to no_data on their own), which is exactly what an A/B judge
+// comparing the outgoing and incoming versions needs.
+type Engine struct {
+	cfg Config
+	reg *obs.Registry // nil: no gauge export
+
+	mu      sync.RWMutex
+	targets map[targetKey]*Target
+	order   []targetKey // insertion order for stable verdicts
+	clock   func() time.Time
+}
+
+type targetKey struct{ model, version string }
+
+// New builds an engine. reg may be nil to skip gauge export (tests,
+// offline evaluation); otherwise every target registers its lcrs_slo_*
+// and lcrs_window_* gauge functions there.
+func New(cfg Config, reg *obs.Registry) (*Engine, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	return &Engine{
+		cfg:     cfg,
+		reg:     reg,
+		targets: make(map[targetKey]*Target),
+	}, nil
+}
+
+// Config returns the validated configuration.
+func (e *Engine) Config() Config { return e.cfg }
+
+// SetClock injects a time source into the engine and every current and
+// future target's windows (nil restores wall time). For deterministic
+// tests and the slo bench experiment.
+func (e *Engine) SetClock(clock func() time.Time) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.clock = clock
+	for _, t := range e.targets {
+		t.setClock(clock)
+	}
+}
+
+// Target returns the windowed aggregates for (model, version), creating
+// them on first use. Safe for concurrent use; the returned target is
+// stable for the engine's lifetime, so callers may cache it.
+func (e *Engine) Target(model, version string) *Target {
+	k := targetKey{model, version}
+	e.mu.RLock()
+	t := e.targets[k]
+	e.mu.RUnlock()
+	if t != nil {
+		return t
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if t = e.targets[k]; t != nil {
+		return t
+	}
+	t = newTarget(e.cfg, model, version)
+	if e.clock != nil {
+		t.setClock(e.clock)
+	}
+	e.targets[k] = t
+	e.order = append(e.order, k)
+	if e.reg != nil {
+		e.registerGauges(t)
+	}
+	return t
+}
+
+// registerGauges installs the per-target gauge functions. Each closure
+// runs the same per-objective evaluation Evaluate uses, at scrape time,
+// so /metrics and /v1/slo cannot drift. Called with e.mu held, once per
+// target (obs.GaugeFunc is first-registration-wins, so a re-activated
+// version reusing its target re-registers harmlessly).
+func (e *Engine) registerGauges(t *Target) {
+	l := []obs.Label{{Key: "model", Value: t.Model}, {Key: "version", Value: t.Version}}
+	window := e.cfg.Window
+	// Windowed aggregates: the live per-version comparison surface.
+	e.reg.GaugeFunc("lcrs_window_infer_rate",
+		"Inference requests per second over the trailing SLO window.",
+		func() float64 { return t.Requests.RateWithin(window) }, l...)
+	e.reg.GaugeFunc("lcrs_window_error_rate",
+		"Errored fraction of inference requests over the trailing SLO window; -1 when no traffic.",
+		func() float64 { v, _ := t.errorRate(window); return v }, l...)
+	e.reg.GaugeFunc("lcrs_window_latency_p99_seconds",
+		"p99 inference latency over the trailing SLO window; -1 (obs.NoData) when no traffic.",
+		func() float64 { return t.Latency.Quantile(0.99, window) }, l...)
+	e.reg.GaugeFunc("lcrs_window_agree_rate",
+		"Binary-vs-main top-1 agreement over the trailing SLO window; -1 when no judged samples.",
+		func() float64 { v, _ := t.agreeRate(window); return v }, l...)
+	e.reg.GaugeFunc("lcrs_window_exit_rate",
+		"Local early-exit fraction over the trailing SLO window; -1 when no decisions.",
+		func() float64 { v, _ := t.exitRate(window); return v }, l...)
+	e.reg.GaugeFunc("lcrs_window_cache_hit_rate",
+		"Edge answer-cache hit fraction over the trailing SLO window; -1 when no lookups.",
+		func() float64 { v, _ := t.cacheHitRate(window); return v }, l...)
+	// SLO grading, one state/value pair per enabled objective.
+	for _, obj := range e.enabledObjectives() {
+		obj := obj
+		lo := append(append([]obs.Label(nil), l...), obs.Label{Key: "objective", Value: obj})
+		e.reg.GaugeFunc("lcrs_slo_state",
+			"SLO objective state: 0 no_data, 1 ok, 2 slow_burn, 3 fast_burn.",
+			func() float64 { return stateValue(e.gradeObjective(t, obj).State) }, lo...)
+		e.reg.GaugeFunc("lcrs_slo_value",
+			"Long-window value the SLO objective is graded on; -1 when no data.",
+			func() float64 { return e.gradeObjective(t, obj).Value }, lo...)
+	}
+	e.reg.GaugeFunc("lcrs_slo_burning",
+		"1 when any objective for this model version is in fast_burn (readiness 503), else 0.",
+		func() float64 {
+			for _, obj := range e.enabledObjectives() {
+				if e.gradeObjective(t, obj).State == StateFastBurn {
+					return 1
+				}
+			}
+			return 0
+		}, l...)
+}
+
+func (e *Engine) enabledObjectives() []string {
+	var objs []string
+	if e.cfg.LatencyP99 > 0 {
+		objs = append(objs, ObjLatencyP99)
+	}
+	if e.cfg.MaxErrorRate > 0 {
+		objs = append(objs, ObjErrorRate)
+	}
+	if e.cfg.MinAgreement > 0 {
+		objs = append(objs, ObjAgreement)
+	}
+	if e.cfg.ExitRateMax > 0 {
+		objs = append(objs, ObjExitRate)
+	}
+	return objs
+}
+
+// ObjectiveStatus is the grading of one objective for one target.
+type ObjectiveStatus struct {
+	Name string `json:"name"`
+	// State is no_data, ok, slow_burn or fast_burn.
+	State string `json:"state"`
+	// Value is the long-window measurement (seconds for latency_p99,
+	// a rate in [0,1] otherwise); -1 when no data.
+	Value float64 `json:"value"`
+	// FastValue is the same measurement over the fast window.
+	FastValue float64 `json:"fast_value"`
+	// Threshold is the configured bound (for exit_rate, the upper bound;
+	// ThresholdLow carries the lower).
+	Threshold    float64 `json:"threshold"`
+	ThresholdLow float64 `json:"threshold_low,omitempty"`
+	// Samples is the observation count in the long window.
+	Samples int64 `json:"samples"`
+}
+
+// TargetVerdict is the full grading of one (model, version).
+type TargetVerdict struct {
+	Model      string            `json:"model"`
+	Version    string            `json:"version"`
+	Burning    bool              `json:"burning"`
+	Objectives []ObjectiveStatus `json:"objectives"`
+}
+
+// Verdict is the engine-wide grading: what /v1/slo serves and what
+// /v1/health summarizes.
+type Verdict struct {
+	// Healthy is false iff any target has a fast-burning objective.
+	Healthy bool `json:"healthy"`
+	// State is fast_burn if any target burns, else slow_burn if any
+	// slow-burns, else ok (or no_data when there are no graded targets).
+	State         string          `json:"state"`
+	WindowSecs    float64         `json:"window_secs"`
+	FastWindowSec float64         `json:"fast_window_secs"`
+	Targets       []TargetVerdict `json:"targets"`
+}
+
+// Evaluate grades every target against every enabled objective. The
+// same code path backs the gauge functions, so a /metrics scrape and a
+// /v1/slo response taken at the same instant agree.
+func (e *Engine) Evaluate() Verdict {
+	e.mu.RLock()
+	keys := append([]targetKey(nil), e.order...)
+	targets := make([]*Target, len(keys))
+	for i, k := range keys {
+		targets[i] = e.targets[k]
+	}
+	e.mu.RUnlock()
+
+	v := Verdict{
+		Healthy:       true,
+		State:         StateNoData,
+		WindowSecs:    e.cfg.Window.Seconds(),
+		FastWindowSec: e.cfg.FastWindow.Seconds(),
+	}
+	objs := e.enabledObjectives()
+	sawOK, sawSlow := false, false
+	for i, t := range targets {
+		tv := TargetVerdict{Model: keys[i].model, Version: keys[i].version}
+		for _, obj := range objs {
+			st := e.gradeObjective(t, obj)
+			tv.Objectives = append(tv.Objectives, st)
+			switch st.State {
+			case StateFastBurn:
+				tv.Burning = true
+			case StateSlowBurn:
+				sawSlow = true
+			case StateOK:
+				sawOK = true
+			}
+		}
+		if tv.Burning {
+			v.Healthy = false
+		}
+		v.Targets = append(v.Targets, tv)
+	}
+	sort.Slice(v.Targets, func(i, j int) bool {
+		if v.Targets[i].Model != v.Targets[j].Model {
+			return v.Targets[i].Model < v.Targets[j].Model
+		}
+		return v.Targets[i].Version < v.Targets[j].Version
+	})
+	switch {
+	case !v.Healthy:
+		v.State = StateFastBurn
+	case sawSlow:
+		v.State = StateSlowBurn
+	case sawOK:
+		v.State = StateOK
+	}
+	return v
+}
+
+// gradeObjective grades one objective for one target over both
+// horizons. The burn ladder: no_data below MinSamples in the long
+// window; fast_burn when the fast window violates with at least
+// MinSamples of its own (a burst of bad requests, not two unlucky
+// ones); slow_burn when only the long window violates; ok otherwise.
+func (e *Engine) gradeObjective(t *Target, obj string) ObjectiveStatus {
+	st := ObjectiveStatus{Name: obj}
+	var eval func(d time.Duration) (value float64, samples int64)
+	var violated func(value float64) bool
+	switch obj {
+	case ObjLatencyP99:
+		st.Threshold = e.cfg.LatencyP99.Seconds()
+		eval = func(d time.Duration) (float64, int64) {
+			return t.Latency.Quantile(0.99, d), t.Latency.Count(d)
+		}
+		violated = func(v float64) bool { return v > st.Threshold }
+	case ObjErrorRate:
+		st.Threshold = e.cfg.MaxErrorRate
+		eval = t.errorRate
+		violated = func(v float64) bool { return v > st.Threshold }
+	case ObjAgreement:
+		st.Threshold = e.cfg.MinAgreement
+		eval = t.agreeRate
+		violated = func(v float64) bool { return v < st.Threshold }
+	case ObjExitRate:
+		st.Threshold = e.cfg.ExitRateMax
+		st.ThresholdLow = e.cfg.ExitRateMin
+		eval = t.exitRate
+		violated = func(v float64) bool { return v < st.ThresholdLow || v > st.Threshold }
+	default:
+		st.State = StateNoData
+		st.Value, st.FastValue = obs.NoData, obs.NoData
+		return st
+	}
+
+	st.Value, st.Samples = eval(e.cfg.Window)
+	fastValue, fastSamples := eval(e.cfg.FastWindow)
+	st.FastValue = fastValue
+	switch {
+	case st.Samples < e.cfg.MinSamples || st.Value < 0:
+		st.State = StateNoData
+	case fastSamples >= e.cfg.MinSamples && fastValue >= 0 && violated(fastValue):
+		st.State = StateFastBurn
+	case violated(st.Value):
+		st.State = StateSlowBurn
+	default:
+		st.State = StateOK
+	}
+	return st
+}
+
+// Target holds the windowed aggregates for one (model, version). The
+// edge feeds it from the infer hot path — every method is a handful of
+// atomic ops on obs windowed primitives, no locks.
+type Target struct {
+	Model   string
+	Version string
+
+	// Latency is the end-to-end infer handler latency in seconds.
+	Latency *obs.WindowedHistogram
+	// Requests / Errors grade the error-rate objective.
+	Requests *obs.WindowedCounter
+	Errors   *obs.WindowedCounter
+	// AgreeYes / AgreeNo grade the binary-vs-main agreement floor
+	// (label-free, from client telemetry vs the main-branch answer).
+	AgreeYes *obs.WindowedCounter
+	AgreeNo  *obs.WindowedCounter
+	// ExitLocal / ExitOffload grade the exit-rate band.
+	ExitLocal   *obs.WindowedCounter
+	ExitOffload *obs.WindowedCounter
+	// CacheHits / CacheMisses feed the windowed cache view (not graded,
+	// but the A/B judge wants it per version).
+	CacheHits   *obs.WindowedCounter
+	CacheMisses *obs.WindowedCounter
+}
+
+func newTarget(cfg Config, model, version string) *Target {
+	wc := func() *obs.WindowedCounter { return obs.NewWindowedCounter(cfg.Window, cfg.Buckets) }
+	return &Target{
+		Model:       model,
+		Version:     version,
+		Latency:     obs.NewWindowedHistogram(obs.LatencyBuckets(), cfg.Window, cfg.Buckets),
+		Requests:    wc(),
+		Errors:      wc(),
+		AgreeYes:    wc(),
+		AgreeNo:     wc(),
+		ExitLocal:   wc(),
+		ExitOffload: wc(),
+		CacheHits:   wc(),
+		CacheMisses: wc(),
+	}
+}
+
+func (t *Target) setClock(clock func() time.Time) {
+	t.Latency.SetClock(clock)
+	for _, c := range []*obs.WindowedCounter{
+		t.Requests, t.Errors, t.AgreeYes, t.AgreeNo,
+		t.ExitLocal, t.ExitOffload, t.CacheHits, t.CacheMisses,
+	} {
+		c.SetClock(clock)
+	}
+}
+
+// ObserveInfer records one inference request outcome.
+func (t *Target) ObserveInfer(d time.Duration, failed bool) {
+	t.Requests.Inc()
+	if failed {
+		t.Errors.Inc()
+		return
+	}
+	// Error latencies are excluded: a fast 400 must not drag p99 down.
+	t.Latency.ObserveDuration(d)
+}
+
+// ObserveAgreement records one binary-vs-main judgment.
+func (t *Target) ObserveAgreement(agree bool) {
+	if agree {
+		t.AgreeYes.Inc()
+	} else {
+		t.AgreeNo.Inc()
+	}
+}
+
+// ObserveExit records one client exit decision (local answer vs
+// offloaded sample), as reported by telemetry.
+func (t *Target) ObserveExit(local bool) {
+	if local {
+		t.ExitLocal.Inc()
+	} else {
+		t.ExitOffload.Inc()
+	}
+}
+
+// ObserveExits records a batch of exit decisions in one shot — the shape
+// telemetry piggybacking delivers them in (N local exits ride along with
+// one offloaded request).
+func (t *Target) ObserveExits(local, offload int64) {
+	if local > 0 {
+		t.ExitLocal.Add(local)
+	}
+	if offload > 0 {
+		t.ExitOffload.Add(offload)
+	}
+}
+
+// ObserveCache records one edge answer-cache lookup.
+func (t *Target) ObserveCache(hit bool) {
+	if hit {
+		t.CacheHits.Inc()
+	} else {
+		t.CacheMisses.Inc()
+	}
+}
+
+// ratio returns num/(num+den) with obs.NoData when the denominator is
+// empty, plus the sample count.
+func ratio(num, den int64) (float64, int64) {
+	total := num + den
+	if total <= 0 {
+		return obs.NoData, 0
+	}
+	return float64(num) / float64(total), total
+}
+
+func (t *Target) errorRate(d time.Duration) (float64, int64) {
+	total := t.Requests.TotalWithin(d)
+	if total <= 0 {
+		return obs.NoData, 0
+	}
+	return float64(t.Errors.TotalWithin(d)) / float64(total), total
+}
+
+func (t *Target) agreeRate(d time.Duration) (float64, int64) {
+	return ratio(t.AgreeYes.TotalWithin(d), t.AgreeNo.TotalWithin(d))
+}
+
+func (t *Target) exitRate(d time.Duration) (float64, int64) {
+	return ratio(t.ExitLocal.TotalWithin(d), t.ExitOffload.TotalWithin(d))
+}
+
+func (t *Target) cacheHitRate(d time.Duration) (float64, int64) {
+	return ratio(t.CacheHits.TotalWithin(d), t.CacheMisses.TotalWithin(d))
+}

@@ -1,0 +1,328 @@
+package slo
+
+import (
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"lcrs/internal/obs"
+)
+
+type fakeClock struct {
+	mu  sync.Mutex
+	now time.Time
+}
+
+func newFakeClock() *fakeClock { return &fakeClock{now: time.Unix(5000, 0)} }
+
+func (c *fakeClock) Now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.now
+}
+
+func (c *fakeClock) Advance(d time.Duration) {
+	c.mu.Lock()
+	c.now = c.now.Add(d)
+	c.mu.Unlock()
+}
+
+func testConfig() Config {
+	return Config{
+		Window:       24 * time.Second,
+		FastWindow:   8 * time.Second,
+		Buckets:      12, // 2s buckets
+		MinSamples:   6,
+		LatencyP99:   100 * time.Millisecond,
+		MaxErrorRate: 0.1,
+		MinAgreement: 0.8,
+		ExitRateMin:  0.2,
+		ExitRateMax:  0.8,
+	}
+}
+
+func TestConfigValidate(t *testing.T) {
+	var c Config
+	if err := c.Validate(); err != nil {
+		t.Fatalf("zero config must validate with defaults: %v", err)
+	}
+	if c.Window != 60*time.Second || c.FastWindow != 10*time.Second || c.Buckets != 12 || c.MinSamples != 20 {
+		t.Fatalf("defaults not filled: %+v", c)
+	}
+	bad := []Config{
+		{Window: 10 * time.Second, FastWindow: 20 * time.Second},
+		{MinAgreement: 1.5},
+		{MaxErrorRate: -0.5},
+		{ExitRateMin: 0.9, ExitRateMax: 0.5},
+		{Window: 7 * time.Second, Buckets: 3},
+	}
+	for i, c := range bad {
+		if err := c.Validate(); err == nil {
+			t.Fatalf("bad config %d validated: %+v", i, c)
+		}
+	}
+}
+
+func TestNoDataState(t *testing.T) {
+	e, err := New(testConfig(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	clk := newFakeClock()
+	e.SetClock(clk.Now)
+	tgt := e.Target("demo", "v1")
+
+	v := e.Evaluate()
+	if v.State != StateNoData || !v.Healthy {
+		t.Fatalf("empty engine verdict = %q healthy=%v, want no_data healthy", v.State, v.Healthy)
+	}
+	for _, o := range v.Targets[0].Objectives {
+		if o.State != StateNoData {
+			t.Fatalf("objective %s state = %q with no traffic, want no_data", o.Name, o.State)
+		}
+		if o.Value != obs.NoData {
+			t.Fatalf("objective %s value = %v with no traffic, want NoData sentinel", o.Name, o.Value)
+		}
+	}
+
+	// Below MinSamples stays no_data even with violating observations.
+	for i := 0; i < 5; i++ {
+		tgt.ObserveInfer(time.Second, false) // way over the 100ms p99
+	}
+	if st := e.gradeObjective(tgt, ObjLatencyP99); st.State != StateNoData {
+		t.Fatalf("latency state below MinSamples = %q, want no_data", st.State)
+	}
+	tgt.ObserveInfer(time.Second, false) // 6th sample crosses MinSamples
+	if st := e.gradeObjective(tgt, ObjLatencyP99); st.State != StateFastBurn {
+		t.Fatalf("latency state at MinSamples with 1s observes = %q, want fast_burn", st.State)
+	}
+}
+
+func TestBurnLadder(t *testing.T) {
+	e, err := New(testConfig(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	clk := newFakeClock()
+	e.SetClock(clk.Now)
+	tgt := e.Target("demo", "v1")
+
+	// Healthy baseline: fast requests, good agreement, mid-band exits.
+	for i := 0; i < 20; i++ {
+		tgt.ObserveInfer(10*time.Millisecond, false)
+		tgt.ObserveAgreement(true)
+		tgt.ObserveExit(i%2 == 0)
+		clk.Advance(100 * time.Millisecond)
+	}
+	v := e.Evaluate()
+	if v.State != StateOK || !v.Healthy {
+		t.Fatalf("healthy workload verdict = %q healthy=%v, want ok", v.State, v.Healthy)
+	}
+
+	// Degrade agreement hard and long enough (6s of bad at 10/s) that
+	// after recovery starts, the bad burst leaves the 8s fast window
+	// well before the 24s long window forgives it — the slow_burn gap.
+	for i := 0; i < 60; i++ {
+		tgt.ObserveInfer(10*time.Millisecond, false)
+		tgt.ObserveAgreement(false)
+		tgt.ObserveExit(i%2 == 0)
+		clk.Advance(100 * time.Millisecond)
+	}
+	st := e.gradeObjective(tgt, ObjAgreement)
+	if st.State != StateFastBurn {
+		t.Fatalf("agreement after bad burst = %q (value=%v fast=%v), want fast_burn",
+			st.State, st.Value, st.FastValue)
+	}
+	v = e.Evaluate()
+	if v.Healthy || v.State != StateFastBurn {
+		t.Fatalf("burning verdict = %q healthy=%v, want fast_burn unhealthy", v.State, v.Healthy)
+	}
+	if !v.Targets[0].Burning {
+		t.Fatal("target not marked burning")
+	}
+
+	// Recovery: good traffic again. The fast window clears first
+	// (slow_burn while the long window still violates), then ok.
+	sawSlow := false
+	for i := 0; i < 300; i++ {
+		tgt.ObserveInfer(10*time.Millisecond, false)
+		tgt.ObserveAgreement(true)
+		tgt.ObserveExit(i%2 == 0)
+		clk.Advance(100 * time.Millisecond)
+		if e.gradeObjective(tgt, ObjAgreement).State == StateSlowBurn {
+			sawSlow = true
+		}
+	}
+	if st := e.gradeObjective(tgt, ObjAgreement); st.State != StateOK {
+		t.Fatalf("agreement after recovery = %q, want ok", st.State)
+	}
+	if !sawSlow {
+		t.Fatal("recovery never passed through slow_burn (fast window clears before long)")
+	}
+	if v := e.Evaluate(); !v.Healthy {
+		t.Fatal("verdict still unhealthy after recovery")
+	}
+}
+
+func TestExitRateBand(t *testing.T) {
+	e, err := New(testConfig(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	clk := newFakeClock()
+	e.SetClock(clk.Now)
+	tgt := e.Target("demo", "v1")
+
+	// Exit rate pinned at 0: below the band floor → burn (edge flooded).
+	for i := 0; i < 30; i++ {
+		tgt.ObserveExit(false)
+		clk.Advance(100 * time.Millisecond)
+	}
+	st := e.gradeObjective(tgt, ObjExitRate)
+	if st.State != StateFastBurn {
+		t.Fatalf("all-offload exit state = %q (value=%v), want fast_burn below band floor", st.State, st.Value)
+	}
+	if st.ThresholdLow != 0.2 || st.Threshold != 0.8 {
+		t.Fatalf("band thresholds = [%v,%v], want [0.2,0.8]", st.ThresholdLow, st.Threshold)
+	}
+}
+
+func TestErrorRateObjective(t *testing.T) {
+	e, err := New(testConfig(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	clk := newFakeClock()
+	e.SetClock(clk.Now)
+	tgt := e.Target("demo", "v1")
+
+	for i := 0; i < 30; i++ {
+		tgt.ObserveInfer(10*time.Millisecond, i%2 == 0) // 50% errors
+		clk.Advance(100 * time.Millisecond)
+	}
+	if st := e.gradeObjective(tgt, ObjErrorRate); st.State != StateFastBurn {
+		t.Fatalf("50%% errors state = %q, want fast_burn over the 10%% ceiling", st.State)
+	}
+	// Error latencies must not enter the latency histogram: all requests
+	// failed fast, the successful ones were 10ms.
+	if st := e.gradeObjective(tgt, ObjLatencyP99); st.State != StateOK {
+		t.Fatalf("latency state = %q (value=%v), want ok — error latencies excluded", st.State, st.Value)
+	}
+}
+
+// Two targets on the same engine stay independent — the per-version A/B
+// surface the registry wires up.
+func TestPerVersionIsolation(t *testing.T) {
+	e, err := New(testConfig(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	clk := newFakeClock()
+	e.SetClock(clk.Now)
+	a := e.Target("demo", "v1")
+	b := e.Target("demo", "v2")
+	if a == b {
+		t.Fatal("distinct versions must get distinct targets")
+	}
+	if again := e.Target("demo", "v1"); again != a {
+		t.Fatal("same version must get the same target")
+	}
+
+	for i := 0; i < 30; i++ {
+		a.ObserveAgreement(true)
+		b.ObserveAgreement(false)
+		clk.Advance(100 * time.Millisecond)
+	}
+	if st := e.gradeObjective(a, ObjAgreement); st.State != StateOK {
+		t.Fatalf("v1 agreement = %q, want ok", st.State)
+	}
+	if st := e.gradeObjective(b, ObjAgreement); st.State != StateFastBurn {
+		t.Fatalf("v2 agreement = %q, want fast_burn", st.State)
+	}
+	v := e.Evaluate()
+	if len(v.Targets) != 2 {
+		t.Fatalf("verdict targets = %d, want 2", len(v.Targets))
+	}
+	if v.Targets[0].Version != "v1" || v.Targets[1].Version != "v2" {
+		t.Fatalf("verdict not sorted by version: %+v", v.Targets)
+	}
+	if v.Targets[0].Burning || !v.Targets[1].Burning {
+		t.Fatalf("burning flags = %v/%v, want v2 only",
+			v.Targets[0].Burning, v.Targets[1].Burning)
+	}
+}
+
+// The lcrs_slo_* gauges are evaluated at scrape time by the same
+// grading code Evaluate uses, so the exposition must agree with the
+// verdict taken at the same instant.
+func TestGaugesReconcileWithVerdict(t *testing.T) {
+	reg := obs.NewRegistry()
+	e, err := New(testConfig(), reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	clk := newFakeClock()
+	e.SetClock(clk.Now)
+	tgt := e.Target("demo", "v1")
+	for i := 0; i < 30; i++ {
+		tgt.ObserveInfer(10*time.Millisecond, false)
+		tgt.ObserveAgreement(false) // burn the agreement floor
+		tgt.ObserveExit(true)
+		tgt.ObserveCache(i%2 == 0)
+		clk.Advance(100 * time.Millisecond)
+	}
+
+	v := e.Evaluate()
+	var sb strings.Builder
+	if err := reg.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{
+		`lcrs_slo_state{model="demo",version="v1",objective="agreement"} 3`,
+		`lcrs_slo_state{model="demo",version="v1",objective="latency_p99"} 1`,
+		`lcrs_slo_burning{model="demo",version="v1"} 1`,
+		`lcrs_window_agree_rate{model="demo",version="v1"} 0`,
+		`lcrs_window_exit_rate{model="demo",version="v1"} 1`,
+		`lcrs_window_cache_hit_rate{model="demo",version="v1"} 0.5`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("exposition missing %q:\n%s", want, out)
+		}
+	}
+	if v.Healthy {
+		t.Fatal("verdict healthy while gauges report burning")
+	}
+	// Exit rate all-local = 1.0 is above the band max: also burning.
+	for _, o := range v.Targets[0].Objectives {
+		if o.Name == ObjExitRate && o.State != StateFastBurn {
+			t.Fatalf("exit_rate = %q, want fast_burn at rate 1.0 over band max", o.State)
+		}
+	}
+}
+
+// Windows decay: a burning target with no fresh traffic returns to
+// no_data (not ok, not stuck burning) once the window drains.
+func TestBurnDecaysToNoData(t *testing.T) {
+	e, err := New(testConfig(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	clk := newFakeClock()
+	e.SetClock(clk.Now)
+	tgt := e.Target("demo", "v1")
+	for i := 0; i < 30; i++ {
+		tgt.ObserveAgreement(false)
+	}
+	if st := e.gradeObjective(tgt, ObjAgreement); st.State != StateFastBurn {
+		t.Fatalf("setup: state = %q, want fast_burn", st.State)
+	}
+	clk.Advance(25 * time.Second) // past the 24s window
+	if st := e.gradeObjective(tgt, ObjAgreement); st.State != StateNoData {
+		t.Fatalf("state after window drained = %q, want no_data", st.State)
+	}
+	if v := e.Evaluate(); !v.Healthy {
+		t.Fatal("drained engine must be healthy (no_data is not a 503)")
+	}
+}

@@ -78,8 +78,16 @@ func (c *Client) RecognizeBatch(ctx context.Context, xs *tensor.Tensor) ([]Resul
 	encodePer := time.Since(encodeStart) / time.Duration(len(pending))
 	payloadPer := buf.Len() / len(pending)
 	id := collab.NewRequestID()
+	// The batch's trace parent carries the whole-batch local and encode
+	// times (not the per-sample attribution): the edge waterfall shows
+	// the request as it crossed the wire, one span timeline per request.
+	tp := collab.TraceParent{
+		ID:           id,
+		LocalMicros:  (clientTime * time.Duration(n)).Microseconds(),
+		EncodeMicros: (encodePer * time.Duration(len(pending))).Microseconds(),
+	}
 	edgeStart := time.Now()
-	ir, err := c.edgeInfer(ctx, &buf, id)
+	ir, err := c.edgeInfer(ctx, &buf, id, tp)
 	if err != nil {
 		c.refundExits(tel)
 		if c.FallbackToBinary {

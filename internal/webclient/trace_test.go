@@ -1,0 +1,64 @@
+package webclient
+
+import (
+	"context"
+	"encoding/json"
+	"testing"
+
+	"lcrs/internal/edge"
+)
+
+// TestRecognizeTracePropagation checks the client end of the span story:
+// an offloaded recognition ships its trace parent, the Result carries the
+// trace ID, and the edge journal can resolve that single ID into the
+// full client→edge waterfall including the client-side stages.
+func TestRecognizeTracePropagation(t *testing.T) {
+	c, _, test, done := trainServeClient(t, 0.0) // never exit: always offload
+	defer done()
+	ctx := context.Background()
+
+	x, _ := test.Sample(0)
+	res, err := c.Recognize(ctx, x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Exited {
+		t.Fatal("tau=0 must offload")
+	}
+	if res.TraceID == "" || res.TraceID != res.RequestID {
+		t.Fatalf("TraceID = %q, RequestID = %q (must be set and coincide)", res.TraceID, res.RequestID)
+	}
+
+	var tr edge.TraceResponse
+	clientGetJSON(t, c, "/v1/debug/trace/"+res.TraceID, &tr)
+	if tr.TraceID != res.TraceID {
+		t.Fatalf("edge resolved trace %q, want %q", tr.TraceID, res.TraceID)
+	}
+	names := map[string]bool{}
+	for _, sp := range tr.Spans {
+		names[sp.Name] = true
+	}
+	// client.local may legitimately round to 0us on a fast machine, but
+	// the offload frame encoding and edge forward always take time.
+	for _, want := range []string{"client.encode", "edge.forward"} {
+		if !names[want] {
+			t.Fatalf("waterfall missing %s span: %+v", want, tr.Spans)
+		}
+	}
+}
+
+// clientGetJSON fetches a JSON endpoint from the client's edge server.
+func clientGetJSON(t *testing.T, c *Client, path string, out any) {
+	t.Helper()
+	resp, err := c.http.Get(c.base + path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != 200 {
+		t.Fatalf("GET %s: %s", path, resp.Status)
+	}
+	if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+		t.Fatal(err)
+	}
+}

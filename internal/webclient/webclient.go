@@ -357,6 +357,11 @@ type Result struct {
 	// key to find this recognition in the edge's access log and
 	// /v1/debug/requests journal. Empty when the sample exited locally.
 	RequestID string
+	// TraceID is the trace identity this offload shipped in X-LCRS-Trace
+	// (the request ID, plus the client-side stage timings): the key for
+	// the edge's /v1/debug/trace/{id} client→edge waterfall. Empty when
+	// the sample exited locally or was served from the session cache.
+	TraceID string
 	// BinaryAgree is the edge's verdict on whether BinaryPred matched the
 	// main branch's answer; nil when the sample exited locally or the
 	// request carried no telemetry. On a session-cache hit it is computed
@@ -447,8 +452,16 @@ func (c *Client) Recognize(ctx context.Context, x *tensor.Tensor) (Result, error
 	res.Stages.Encode = time.Since(encodeStart)
 	res.PayloadBytes = buf.Len()
 	id := collab.NewRequestID()
+	// The trace parent ships the client-side stage timings with the
+	// request, so the edge journal alone can render the full client→edge
+	// waterfall (/v1/debug/trace/{id}) without a second collection hop.
+	tp := collab.TraceParent{
+		ID:           id,
+		LocalMicros:  res.Stages.Local.Microseconds(),
+		EncodeMicros: res.Stages.Encode.Microseconds(),
+	}
 	edgeStart := time.Now()
-	ir, err := c.edgeInfer(ctx, &buf, id)
+	ir, err := c.edgeInfer(ctx, &buf, id, tp)
 	if err != nil {
 		c.refundExits(tel)
 		if errors.Is(err, ErrVersionConflict) {
@@ -492,6 +505,7 @@ func (c *Client) Recognize(ctx context.Context, x *tensor.Tensor) (Result, error
 	if ir.RequestID != "" {
 		res.RequestID = ir.RequestID
 	}
+	res.TraceID = tp.ID
 	res.BinaryAgree = ir.BinaryAgree
 	res.ModelVersion = ir.Version
 	res.BundleStale = ir.Version != "" && c.bundleVersion != "" && ir.Version != c.bundleVersion
@@ -550,8 +564,10 @@ func (c *Client) refundExits(tel *collab.Telemetry) {
 }
 
 // edgeInfer posts the intermediate tensor and decodes the edge's reply.
-// id, when non-empty, travels as the X-Request-ID correlation header.
-func (c *Client) edgeInfer(ctx context.Context, body io.Reader, id string) (edge.InferResponse, error) {
+// id, when non-empty, travels as the X-Request-ID correlation header; a
+// trace parent with a non-empty ID travels as X-LCRS-Trace, carrying the
+// client-side stage timings for the edge's span waterfall.
+func (c *Client) edgeInfer(ctx context.Context, body io.Reader, id string, tp collab.TraceParent) (edge.InferResponse, error) {
 	req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.base+"/v1/infer/"+c.modelName, body)
 	if err != nil {
 		return edge.InferResponse{}, fmt.Errorf("webclient: %w", err)
@@ -559,6 +575,9 @@ func (c *Client) edgeInfer(ctx context.Context, body io.Reader, id string) (edge
 	req.Header.Set("Content-Type", "application/octet-stream")
 	if id != "" {
 		req.Header.Set(collab.RequestIDHeader, id)
+	}
+	if tp.ID != "" {
+		req.Header.Set(collab.TraceHeader, tp.Format())
 	}
 	if c.pinVersion && c.bundleVersion != "" {
 		req.Header.Set(collab.ModelVersionHeader, c.bundleVersion)
